@@ -1,0 +1,76 @@
+"""Figure 4 — run time of both implementations versus r (EXP).
+
+Paper shape: run time of both implementations scales linearly in r.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.bench import ascii_plot, render_series, save_json
+from repro.core import coarsen_influence_graph, coarsen_influence_graph_sublinear
+from repro.datasets import load_dataset
+from repro.storage import TripletStore
+
+from conftest import results_path, run_once
+
+DATASET = "soc-slashdot"
+R_VALUES = (1, 2, 4, 8, 16, 32)
+
+
+def generate() -> dict:
+    graph = load_dataset(DATASET, "exp", seed=0)
+    linear_times = []
+    sublinear_times = []
+    for r in R_VALUES:
+        t0 = time.perf_counter()
+        coarsen_influence_graph(graph, r=r, rng=0)
+        linear_times.append(time.perf_counter() - t0)
+        with tempfile.TemporaryDirectory() as workdir:
+            src = TripletStore.from_graph(graph, os.path.join(workdir, "g.trip"))
+            t0 = time.perf_counter()
+            coarsen_influence_graph_sublinear(
+                src, os.path.join(workdir, "h.trip"), r=r, rng=0,
+                work_dir=workdir,
+            )
+            sublinear_times.append(time.perf_counter() - t0)
+    raw = {
+        "dataset": DATASET,
+        "r": list(R_VALUES),
+        "linear_seconds": linear_times,
+        "sublinear_seconds": sublinear_times,
+    }
+    print(render_series(
+        f"Figure 4: run time vs r on {DATASET} (EXP)",
+        "r", list(R_VALUES),
+        {
+            "Alg.1 (linear space)": [f"{t:.3f} s" for t in linear_times],
+            "Alg.2 (sublinear space)": [f"{t:.3f} s" for t in sublinear_times],
+        },
+    ))
+    print()
+    print(ascii_plot(
+        list(R_VALUES),
+        {"Alg.1": linear_times, "Alg.2": sublinear_times},
+        title="run time (s) vs r", log_x=True,
+    ))
+    save_json(raw, results_path("fig4.json"))
+    return raw
+
+
+def bench_fig4_time_vs_r(benchmark):
+    raw = run_once(benchmark, generate)
+    # Shape: time grows roughly linearly in r — r=32 costs well under
+    # 100x the r=1 run (it should be ~32x modulo constant overheads).
+    lin = raw["linear_seconds"]
+    assert lin[-1] <= 100 * max(lin[0], 1e-3)
+    # and monotone-ish: the largest r is the most expensive of the sweep.
+    assert lin[-1] >= max(lin[:3]) * 0.8
+
+
+if __name__ == "__main__":
+    generate()

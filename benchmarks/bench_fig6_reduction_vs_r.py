@@ -1,0 +1,64 @@
+"""Figure 6 — edge-reduction ratio versus r (EXP).
+
+Paper shape: |F|/|E| grows roughly logarithmically in r (finer partitions
+undo less of the reduction), approaching a plateau.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ascii_plot, render_series, save_json
+from repro.core import coarsen, robust_scc_refinement_sequence
+from repro.datasets import load_dataset
+
+from conftest import dataset_names, results_path, run_once
+
+DATASETS = ("ca-hepph", "soc-slashdot", "higgs-twitter", "com-orkut")
+R_MAX = 32
+R_POINTS = (1, 2, 4, 8, 16, 32)
+
+
+def generate() -> dict:
+    raw: dict = {"r": list(R_POINTS), "datasets": {}}
+    series = {}
+    available = set(dataset_names())
+    for name in DATASETS:
+        if name not in available:
+            continue
+        graph = load_dataset(name, "exp", seed=0)
+        # one shared sample chain => deterministically monotone ratios
+        chain = robust_scc_refinement_sequence(graph, R_MAX, rng=0)
+        ratios = []
+        for r in R_POINTS:
+            coarse, _ = coarsen(graph, chain[r - 1])
+            ratios.append(100 * coarse.m / graph.m)
+        raw["datasets"][name] = ratios
+        series[name] = [f"{v:.1f}%" for v in ratios]
+    print(render_series(
+        "Figure 6: edge reduction ratio |F|/|E| vs r (EXP)",
+        "r", list(R_POINTS), series,
+    ))
+    print()
+    print(ascii_plot(
+        list(R_POINTS), raw["datasets"], title="|F|/|E| (%) vs r",
+        log_x=True,
+    ))
+    save_json(raw, results_path("fig6.json"))
+    return raw
+
+
+def bench_fig6_reduction_vs_r(benchmark):
+    raw = run_once(benchmark, generate)
+    for name, ratios in raw["datasets"].items():
+        # Shape: ratio is non-decreasing in r (Theorem 4.14) ...
+        assert ratios == sorted(ratios), name
+        # ... and concave-ish where early growth is visible at all: the
+        # r=16->32 step stays comparable to the r=1->2 step (the paper's
+        # logarithmic growth).  Datasets whose giant robust SCC barely
+        # fragments at small r (orkut-like cores) have a flat start and are
+        # exempt — they only begin fragmenting at large r.
+        if ratios[1] - ratios[0] > 1.0:
+            assert (ratios[-1] - ratios[-2]) <= (ratios[1] - ratios[0]) * 4
+
+
+if __name__ == "__main__":
+    generate()

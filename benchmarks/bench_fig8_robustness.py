@@ -1,0 +1,70 @@
+"""Figure 8 — cumulative distribution of the maximum SCC rate of the
+subgraph induced by the largest r-robust SCC (EXP).
+
+Paper shape: most of the largest r-robust SCC is strongly connected in a
+random live-edge sample with high probability (e.g. 93% of slashdot's
+largest component is strongly connected with probability 0.9) — the
+empirical justification that coarsening these components barely distorts
+the influence function (Section 7.4).
+
+The paper samples 10,000 live-edge graphs; scaled to laptop budgets this
+uses 400 per dataset, which resolves the CDF to ~2.5% granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import max_scc_rate_samples
+from repro.bench import render_series, save_json
+from repro.core import robust_scc_partition
+from repro.datasets import load_dataset
+
+from conftest import dataset_names, results_path, run_once
+
+DATASETS = ("soc-slashdot", "higgs-twitter", "com-orkut")
+R = 16
+N_SAMPLES = 400
+THRESHOLDS = (0.5, 0.7, 0.8, 0.9, 0.95, 0.99)
+
+
+def generate() -> dict:
+    raw: dict = {"thresholds": list(THRESHOLDS), "datasets": {}}
+    series = {}
+    available = set(dataset_names())
+    for name in DATASETS:
+        if name not in available:
+            continue
+        graph = load_dataset(name, "exp", seed=0)
+        partition = robust_scc_partition(graph, R, rng=0)
+        largest_label = int(np.argmax(partition.block_sizes()))
+        members = partition.members_of(largest_label)
+        sub = graph.induced_subgraph(members)
+        rates = max_scc_rate_samples(sub, n_samples=N_SAMPLES, rng=1)
+        survival = [float(np.mean(rates > t)) for t in THRESHOLDS]
+        raw["datasets"][name] = {
+            "component_size": int(members.size),
+            "survival": survival,
+            "mean_rate": float(rates.mean()),
+        }
+        series[name] = [f"{100 * s:.1f}%" for s in survival]
+    print(render_series(
+        f"Figure 8: Pr[max SCC rate > theta] for the largest {R}-robust SCC "
+        f"(EXP, {N_SAMPLES} samples)",
+        "theta", list(THRESHOLDS), series,
+    ))
+    save_json(raw, results_path("fig8.json"))
+    return raw
+
+
+def bench_fig8_robustness(benchmark):
+    raw = run_once(benchmark, generate)
+    for name, row in raw["datasets"].items():
+        # Shape: the bulk of the component is strongly connected with high
+        # probability — Pr[rate > 0.8] close to one.
+        assert row["survival"][2] > 0.9, name
+        assert row["mean_rate"] > 0.8, name
+
+
+if __name__ == "__main__":
+    generate()

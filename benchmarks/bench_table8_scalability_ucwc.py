@@ -1,0 +1,29 @@
+"""Table 8 — Table 2 (run time / memory) under the UC and WC settings.
+
+Paper shapes: UC behaves like EXP; WC's probabilities (1/indegree) are tiny
+on hubs, so both implementations still run at full speed and memory is
+unchanged (the algorithms' cost does not depend on the setting).
+"""
+
+from __future__ import annotations
+
+from bench_table2_scalability import generate as _generate
+
+from conftest import run_once
+
+
+def generate() -> dict:
+    return _generate(settings=("uc", "wc"), title="Table 8",
+                     out_name="table8")
+
+
+def bench_table8_scalability_ucwc(benchmark):
+    raw = run_once(benchmark, generate)
+    for name, per_setting in raw.items():
+        for setting, row in per_setting.items():
+            if row["linear_status"] == "ok":
+                assert row["linear_seconds"] > 0
+
+
+if __name__ == "__main__":
+    generate()

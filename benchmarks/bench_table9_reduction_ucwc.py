@@ -1,0 +1,48 @@
+"""Table 9 — Table 3 (graph-size reduction) under the UC and WC settings.
+
+Paper shapes: UC reduces about as much as EXP; WC reduces almost nothing —
+weighted-cascade probabilities (1/indegree) make cycles so unlikely that
+r-robust SCCs are essentially all singletons.  The paper notes this is
+acceptable because WC influence analysis is cheap anyway (Tables 10, 11).
+"""
+
+from __future__ import annotations
+
+from bench_table3_reduction import generate as _generate
+
+from conftest import run_once
+
+# Paper's Table 9 ratios (|W|/|V| %, |F|/|E| %) for side-by-side output.
+PAPER_UCWC = {
+    "ca-hepph": {},
+    "soc-slashdot": {"uc": (95.4, 36.4), "wc": (100.0, 100.0)},
+    "web-notredame": {},
+    "wiki-talk": {"uc": (99.8, 61.8), "wc": (100.0, 100.0)},
+    "com-youtube": {},
+    "higgs-twitter": {"uc": (89.6, 29.4), "wc": (99.3, 99.9)},
+    "soc-pokec": {},
+    "soc-livejournal": {"uc": (93.1, 43.2), "wc": (99.8, 100.0)},
+    "com-orkut": {},
+    "twitter-2010": {"uc": (93.5, 24.5), "wc": (99.9, 100.0)},
+    "com-friendster": {"uc": (71.7, 4.9), "wc": (100.0, 100.0)},
+    "uk-2007-05": {"uc": (97.4, 42.6), "wc": (100.0, 100.0)},
+    "ameblo": {"uc": (99.4, 79.4), "wc": (98.9, 98.9)},
+}
+
+
+def generate() -> dict:
+    return _generate(settings=("uc", "wc"), title="Table 9",
+                     out_name="table9", paper=PAPER_UCWC)
+
+
+def bench_table9_reduction_ucwc(benchmark):
+    raw = run_once(benchmark, generate)
+    for name, per_setting in raw.items():
+        uc, wc = per_setting["uc"], per_setting["wc"]
+        # Shape: WC coarsening is far weaker than UC (near-identity).
+        assert wc["F_over_E"] >= uc["F_over_E"] - 1e-9, name
+        assert wc["F_over_E"] > 90.0, name
+
+
+if __name__ == "__main__":
+    generate()

@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark suite.
+
+Every ``bench_*.py`` file regenerates one of the paper's tables or figures:
+it prints the same rows/series the paper reports and saves the raw numbers
+under ``benchmarks/results/``.  Each file exposes exactly one
+pytest-benchmark entry point (``bench_*`` test using the ``benchmark``
+fixture with a single round), so::
+
+    pytest benchmarks/ --benchmark-only
+
+regenerates every artefact and reports the wall time of each.
+
+Dataset scope can be narrowed for quick runs with the environment variable
+``REPRO_BENCH_TIER`` (``small`` | ``medium`` | ``large``, default
+``large`` = everything).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import list_datasets
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def dataset_names(max_tier: str | None = None) -> list[str]:
+    """Datasets included in this bench run (env-var clamped)."""
+    env_tier = os.environ.get("REPRO_BENCH_TIER", "large")
+    tiers = ("small", "medium", "large")
+    if max_tier is None:
+        max_tier = env_tier
+    else:
+        max_tier = tiers[min(tiers.index(max_tier), tiers.index(env_tier))]
+    return list_datasets(max_tier=max_tier)
+
+
+def results_path(name: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return os.path.join(RESULTS_DIR, name)
+
+
+def run_once(benchmark, fn):
+    """Run a full table/figure generator exactly once under the benchmark
+    fixture (these are end-to-end experiment drivers, not microbenchmarks)."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

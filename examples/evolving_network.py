@@ -1,0 +1,72 @@
+"""Evolving networks: keep the coarse graph fresh under edge churn.
+
+Social networks change constantly.  Appendix C.2's dynamic algorithm
+maintains the coarsened graph under edge insertions and deletions instead
+of re-coarsening from scratch: an update only re-examines the live-edge
+samples in which the edge materialises (a p-fraction in expectation), so
+nearly all SCC recomputations are pruned.
+
+This example streams follower churn into a social-network analogue,
+periodically answers influence queries on the *maintained* coarse graph,
+and verifies against a from-scratch recomputation.
+
+Run:  python examples/evolving_network.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import DynamicCoarsener, MonteCarloEstimator, load_dataset
+from repro.core import estimate_on_coarse
+
+graph = load_dataset("soc-slashdot", setting="exp", seed=0)
+print(f"initial network: {graph}\n")
+
+t0 = time.perf_counter()
+dyn = DynamicCoarsener(graph, r=16, rng=0)
+print(f"initial coarsening: {time.perf_counter() - t0:.2f} s")
+
+rng = np.random.default_rng(123)
+estimator = MonteCarloEstimator(1_500, rng=9)
+watched_user = 42
+
+inserted: list[tuple[int, int]] = []
+t0 = time.perf_counter()
+for step in range(1, 101):
+    # Churn: 60% new follows (EXP-like probability), 40% unfollows.
+    if inserted and rng.random() < 0.4:
+        u, v = inserted.pop(rng.integers(len(inserted)))
+        dyn.delete_edge(u, v)
+    else:
+        while True:
+            u, v = int(rng.integers(graph.n)), int(rng.integers(graph.n))
+            if u != v and (u, v) not in dyn._edges:
+                break
+        dyn.insert_edge(u, v, float(min(1.0, rng.exponential(0.1) + 1e-6)))
+        inserted.append((u, v))
+
+    if step % 25 == 0:
+        snap = dyn.snapshot()
+        spread = estimate_on_coarse(snap, np.array([watched_user]), estimator)
+        print(
+            f"after {step:3d} updates: coarse graph {snap.coarse.n} vertices/"
+            f"{snap.coarse.m} edges, user {watched_user} reaches ~{spread:,.0f}"
+        )
+churn_seconds = time.perf_counter() - t0
+
+s = dyn.stats
+pruned = 100 * s.scc_skipped / (s.scc_skipped + s.scc_recomputations)
+print(
+    f"\n100 updates in {churn_seconds:.2f} s "
+    f"({churn_seconds * 10:.1f} ms/update); "
+    f"{pruned:.0f}% of SCC recomputations pruned, "
+    f"{s.fast_updates} O(1) fast updates, {s.full_rebuilds} full rebuilds"
+)
+
+# Safety check: the maintained state equals a recomputation from scratch.
+reference = dyn.reference_coarsening()
+snapshot = dyn.snapshot()
+assert snapshot.partition == reference.partition
+assert snapshot.coarse == reference.coarse
+print("maintained coarse graph == from-scratch recomputation  [verified]")

@@ -1,0 +1,39 @@
+"""Linear Threshold seed selection with RR sketches (library extension).
+
+The paper's coarsening is IC-only, but the library's sketch machinery also
+speaks the Linear Threshold model: ``RRSampler(model="lt")`` draws LT RR
+sets (reverse in-edge walks), so D-SSA / IMM / TIM+ / RIS run under LT
+unchanged.  This example selects seeds on a weighted-cascade network — WC
+weights (1/indegree) satisfy the LT constraint by construction — and
+validates the pick against direct LT simulation.
+
+Run:  python examples/linear_threshold_maximization.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import DSSAMaximizer, load_dataset
+from repro.diffusion import estimate_influence_lt
+
+K = 5
+graph = load_dataset("soc-slashdot", setting="wc", seed=0)
+print(f"network: {graph} with WC weights (LT-valid: per-vertex in-mass = 1)\n")
+
+t0 = time.perf_counter()
+result = DSSAMaximizer(eps=0.15, delta=0.05, rng=1, model="lt").select(graph, K)
+seconds = time.perf_counter() - t0
+print(f"D-SSA under LT picked {result.seeds.tolist()} in {seconds:.1f} s "
+      f"({result.extras['rr_sets']} LT RR sets)")
+print(f"sketch estimate of the LT spread: {result.estimated_influence:.1f}")
+
+spread = estimate_influence_lt(graph, result.seeds, 2_000, rng=9)
+print(f"direct LT simulation of the same seeds: {spread:.1f}")
+
+# sanity baseline: K random seeds
+rng = np.random.default_rng(3)
+random_seeds = rng.choice(graph.n, size=K, replace=False)
+random_spread = estimate_influence_lt(graph, random_seeds, 2_000, rng=10)
+print(f"\nrandom {K}-seed baseline: {random_spread:.1f} "
+      f"({spread / random_spread:.1f}x worse than the selected set)")

@@ -1,0 +1,84 @@
+"""Viral marketing: pick seed users for a product campaign, fast.
+
+The paper's motivating application (Section 1): a marketer wants the k
+users whose word-of-mouth cascade reaches the largest audience.  Running a
+state-of-the-art sketch algorithm (D-SSA) directly on the full network is
+expensive; the influence-maximization framework (Algorithm 4) runs it on
+the coarsened network and translates the seeds back, with provable quality
+(Theorem 6.2).
+
+This example compares three ways to pick 10 seeds on a social-network
+analogue and cross-checks their quality with Monte-Carlo simulation:
+
+* degree heuristic (cheap, no guarantee),
+* plain D-SSA on the full graph,
+* D-SSA via the coarsening framework.
+
+Run:  python examples/viral_marketing.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    DegreeHeuristic,
+    DSSAMaximizer,
+    MonteCarloEstimator,
+    coarsen_influence_graph,
+    load_dataset,
+    maximize_on_coarse,
+)
+
+K = 10
+graph = load_dataset("soc-slashdot", setting="exp", seed=0)
+print(f"network: {graph} (synthetic analogue of soc-Slashdot0922)\n")
+
+judge = MonteCarloEstimator(n_simulations=2_000, rng=99)
+
+
+def report(label: str, seeds: np.ndarray, seconds: float) -> float:
+    spread = judge.estimate(graph, seeds)
+    print(f"{label:28} {seconds:7.2f} s   expected audience: "
+          f"{spread:8.1f} users ({spread / graph.n:.1%} of the network)")
+    return spread
+
+
+# -- baseline: just take the best-connected users -----------------------
+t0 = time.perf_counter()
+degree_seeds = DegreeHeuristic().select(graph, K).seeds
+report("degree heuristic", degree_seeds, time.perf_counter() - t0)
+
+# -- state of the art on the full network --------------------------------
+t0 = time.perf_counter()
+plain = DSSAMaximizer(eps=0.1, delta=0.01, rng=1).select(graph, K)
+plain_seconds = time.perf_counter() - t0
+plain_spread = report("D-SSA (full graph)", plain.seeds, plain_seconds)
+
+# -- the paper's framework: coarsen once, then run D-SSA on the sketch ---
+t0 = time.perf_counter()
+result = coarsen_influence_graph(graph, r=16, rng=0)
+coarsen_seconds = time.perf_counter() - t0
+print(
+    f"\ncoarsening (r=16): {coarsen_seconds:.2f} s, kept "
+    f"{result.stats.edge_reduction_ratio:.0%} of edges, "
+    f"{result.stats.vertex_reduction_ratio:.0%} of vertices"
+)
+
+t0 = time.perf_counter()
+framework = maximize_on_coarse(
+    result, K, DSSAMaximizer(eps=0.1, delta=0.01, rng=2), rng=3
+)
+framework_seconds = time.perf_counter() - t0
+framework_spread = report(
+    "D-SSA via Algorithm 4", framework.seeds, framework_seconds
+)
+
+print(
+    f"\nframework solve time: {framework_seconds:.2f} s vs "
+    f"{plain_seconds:.2f} s plain "
+    f"({framework_seconds / plain_seconds:.0%}); quality gap "
+    f"{(framework_spread - plain_spread) / plain_spread:+.1%}"
+)
+print("the coarsened graph is reusable: every further campaign (other k,")
+print("other algorithms, estimation queries) amortises the one-off cost")

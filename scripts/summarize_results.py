@@ -1,0 +1,74 @@
+"""Print a one-screen summary of the benchmark results directory.
+
+Run after `pytest benchmarks/ --benchmark-only`:
+
+    python scripts/summarize_results.py
+
+Used to refresh EXPERIMENTS.md's headline numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+
+RESULTS = os.path.join(os.path.dirname(__file__), "..", "benchmarks", "results")
+
+
+def load(name: str) -> dict | None:
+    path = os.path.join(RESULTS, name)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main() -> None:
+    t3 = load("table3.json")
+    if t3:
+        worst = max(
+            abs(row["F_over_E"] - row["paper_F_over_E"])
+            for per in t3.values() for row in per.values()
+            if isinstance(row.get("paper_F_over_E"), (int, float))
+        )
+        print(f"Table 3: max |F/E - paper| across all cells = {worst:.1f} pts")
+    for name, label in (("table4.json", "Table 4"), ("table10.json", "Table 10")):
+        t = load(name)
+        if not t:
+            continue
+        ratios = [row["time_ratio_pct"] for per in t.values() for row in per.values()]
+        mares = [row["mare"] for per in t.values() for row in per.values() if "mare" in row]
+        print(f"{label}: time ratio min/median = {min(ratios):.1f}%/"
+              f"{statistics.median(ratios):.1f}%, max MARE = {max(mares):.3f}")
+    for name, label in (("table5.json", "Table 5"), ("table11.json", "Table 11")):
+        t = load(name)
+        if not t:
+            continue
+        ratios = [row["time_ratio_pct"] for per in t.values()
+                  for row in per.values() if "time_ratio_pct" in row]
+        ooms = sum(1 for per in t.values() for row in per.values()
+                   if row.get("plain_seconds") is None)
+        gaps = [row["framework_influence_frac"] - row["plain_influence_frac"]
+                for per in t.values() for row in per.values()
+                if "framework_influence_frac" in row and "plain_influence_frac" in row]
+        print(f"{label}: median ratio = {statistics.median(ratios):.1f}%, "
+              f"OOM cells = {ooms}, worst quality gap = {min(gaps):+.4f}")
+    t6 = load("table6.json")
+    if t6:
+        rows = [(n, r) for n, r in t6.items()]
+        cn_oom = [n for n, r in rows if r["coarsenet_status"] != "ok"]
+        sp_oom = [n for n, r in rows if r["spine_status"] != "ok"]
+        print(f"Table 6: COARSENET falls over on {cn_oom}; SPINE on {sp_oom}")
+    dyn = load("dynamic_updates.json")
+    if dyn:
+        print(f"Dynamic: {dyn['pruned_scc_pct']:.1f}% SCC recomputations pruned, "
+              f"{dyn['speedup']:.1f}x vs scratch")
+    f9 = load("fig9.json")
+    if f9:
+        print(f"Figure 9: bias r=1 {f9['r']['1']['mean_bias']:+.1%}, "
+              f"r=16 {f9['r']['16']['mean_bias']:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

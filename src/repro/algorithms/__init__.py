@@ -1,0 +1,35 @@
+"""Influence estimation and maximization algorithms.
+
+Estimators implement ``estimate(graph, seeds) -> float``; maximizers
+implement ``select(graph, k) -> MaximizationResult``.  Both run unchanged on
+plain and vertex-weighted (coarsened) graphs, which is what lets the
+Section 6 frameworks wrap them generically.
+"""
+
+from .celf import CELFMaximizer
+from .degree import DegreeHeuristic
+from .greedy import GreedyMaximizer
+from .imm import IMMMaximizer
+from .irie import IRIEMaximizer
+from .monte_carlo import MonteCarloEstimator
+from .ris import RISMaximizer, log_binomial
+from .ris_estimator import RISEstimator
+from .snapshot_greedy import SnapshotGreedyMaximizer
+from .stop_and_stare import DSSAMaximizer, SSAMaximizer
+from .tim import TIMPlusMaximizer
+
+__all__ = [
+    "MonteCarloEstimator",
+    "DegreeHeuristic",
+    "GreedyMaximizer",
+    "CELFMaximizer",
+    "RISMaximizer",
+    "RISEstimator",
+    "IMMMaximizer",
+    "IRIEMaximizer",
+    "TIMPlusMaximizer",
+    "SnapshotGreedyMaximizer",
+    "SSAMaximizer",
+    "DSSAMaximizer",
+    "log_binomial",
+]

@@ -1,0 +1,70 @@
+"""CELF — lazy greedy influence maximization (Leskovec et al. [28]).
+
+Exploits submodularity: a vertex's marginal gain can only shrink as the seed
+set grows, so stale gains in a max-heap are upper bounds.  Pop the top entry;
+if its gain was computed for the current seed set it is exact and wins,
+otherwise re-evaluate and push back.  Produces the same solution as plain
+greedy with far fewer oracle calls on heavy-tailed graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.frameworks import InfluenceEstimator, MaximizationResult
+from ..errors import AlgorithmError
+from ..graph.influence_graph import InfluenceGraph
+
+__all__ = ["CELFMaximizer"]
+
+
+class CELFMaximizer:
+    """Lazy greedy with an influence oracle.
+
+    Note: with a stochastic (Monte-Carlo) oracle the submodularity of the
+    *estimated* gains holds only in expectation, so CELF with few simulations
+    can diverge slightly from exhaustive greedy; this matches how CELF is
+    used in the literature.
+    """
+
+    def __init__(self, estimator: InfluenceEstimator) -> None:
+        self._estimator = estimator
+
+    def select(self, graph: InfluenceGraph, k: int) -> MaximizationResult:
+        """Select a size-``k`` seed set; returns a :class:`MaximizationResult`."""
+        if not 0 < k <= graph.n:
+            raise AlgorithmError("k must lie in [1, n]")
+        evaluations = 0
+
+        def influence(seed_list: list[int]) -> float:
+            nonlocal evaluations
+            evaluations += 1
+            return self._estimator.estimate(
+                graph, np.asarray(seed_list, dtype=np.int64)
+            )
+
+        # Initial pass: singleton influences.  Heap entries are
+        # (-gain, vertex, round_when_computed).
+        heap: list[tuple[float, int, int]] = []
+        for v in range(graph.n):
+            heap.append((-influence([v]), v, 0))
+        heapq.heapify(heap)
+
+        seeds: list[int] = []
+        current = 0.0
+        for round_no in range(1, k + 1):
+            while True:
+                neg_gain, v, computed_at = heapq.heappop(heap)
+                if computed_at == round_no:
+                    seeds.append(v)
+                    current += -neg_gain
+                    break
+                gain = influence(seeds + [v]) - current
+                heapq.heappush(heap, (-gain, v, round_no))
+        return MaximizationResult(
+            seeds=np.asarray(seeds, dtype=np.int64),
+            estimated_influence=current,
+            extras={"evaluations": evaluations},
+        )

@@ -1,0 +1,37 @@
+"""Degree heuristic baseline for influence maximization.
+
+Selects the ``k`` vertices with the highest *expected live out-degree*
+``sum_e p_e`` (weighted by target vertex weight on coarse graphs).  No
+quality guarantee — it exists as the classic cheap baseline the IM
+literature compares against [10, 22].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frameworks import MaximizationResult
+from ..errors import AlgorithmError
+from ..graph.influence_graph import InfluenceGraph
+
+__all__ = ["DegreeHeuristic"]
+
+
+class DegreeHeuristic:
+    """Top-``k`` vertices by expected influenced weight of direct neighbours."""
+
+    def select(self, graph: InfluenceGraph, k: int) -> MaximizationResult:
+        """Select a size-``k`` seed set; returns a :class:`MaximizationResult`."""
+        if not 0 < k <= graph.n:
+            raise AlgorithmError("k must lie in [1, n]")
+        weights = graph.weights.astype(np.float64)
+        expected = np.zeros(graph.n, dtype=np.float64)
+        tails = graph.tails()
+        np.add.at(expected, tails, graph.probs * weights[graph.heads])
+        expected += weights  # a seed always activates itself
+        seeds = np.argsort(expected, kind="stable")[::-1][:k].astype(np.int64)
+        return MaximizationResult(
+            seeds=seeds,
+            estimated_influence=float(expected[seeds].sum()),
+            extras={"method": "degree"},
+        )

@@ -1,0 +1,90 @@
+"""IRIE — Influence Ranking / Influence Estimation (Jung, Heo, Chen [20]).
+
+The linear-system heuristic the paper's related work cites: each vertex's
+rank approximates its marginal influence via the fixed point of
+
+    r(u) = 1 + alpha * sum_{(u,v) in E} p(u,v) * r(v)
+
+(a damped Katz-style recursion on the influence DAG).  For seed selection,
+IRIE alternates ranking with *influence discounting*: once a seed is
+chosen, each vertex's rank is damped by the probability it is already
+covered by the current seed set (estimated with one cheap forward pass).
+
+No approximation guarantee — it trades quality for speed and is the
+strongest of the heuristic baselines on many networks.  On vertex-weighted
+(coarsened) graphs the constant term becomes the vertex weight, so the
+framework applies unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frameworks import MaximizationResult
+from ..errors import AlgorithmError
+from ..graph.influence_graph import InfluenceGraph
+
+__all__ = ["IRIEMaximizer"]
+
+
+class IRIEMaximizer:
+    """IRIE with damping ``alpha`` (the paper's default 0.7) and a fixed
+    iteration budget."""
+
+    def __init__(self, alpha: float = 0.7, iterations: int = 20) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise AlgorithmError("alpha must lie in (0, 1]")
+        if iterations <= 0:
+            raise AlgorithmError("iterations must be positive")
+        self.alpha = alpha
+        self.iterations = iterations
+
+    def _rank(self, graph: InfluenceGraph, covered: np.ndarray) -> np.ndarray:
+        """Fixed-point iteration of the IRIE linear system.
+
+        ``covered[v]`` is the probability v is already activated by the
+        current seeds; its rank contribution is discounted accordingly.
+        """
+        tails, heads, probs = graph.edge_arrays()
+        base = graph.weights.astype(np.float64) * (1.0 - covered)
+        rank = base.copy()
+        for _ in range(self.iterations):
+            spread = np.zeros(graph.n)
+            np.add.at(spread, tails, probs * rank[heads])
+            new_rank = base + self.alpha * (1.0 - covered) * spread
+            if np.allclose(new_rank, rank, rtol=1e-9, atol=1e-12):
+                rank = new_rank
+                break
+            rank = new_rank
+        return rank
+
+    def select(self, graph: InfluenceGraph, k: int) -> MaximizationResult:
+        """Select a size-``k`` seed set; returns a :class:`MaximizationResult`."""
+        if not 0 < k <= graph.n:
+            raise AlgorithmError("k must lie in [1, n]")
+        tails, heads, probs = graph.edge_arrays()
+        covered = np.zeros(graph.n)
+        seeds = np.empty(k, dtype=np.int64)
+        total = 0.0
+        chosen = np.zeros(graph.n, dtype=bool)
+        for i in range(k):
+            rank = self._rank(graph, covered)
+            rank[chosen] = -np.inf
+            v = int(np.argmax(rank))
+            seeds[i] = v
+            chosen[v] = True
+            total += float(rank[v])
+            # Influence discount: one forward relaxation from the new seed.
+            covered[v] = 1.0
+            reach = np.zeros(graph.n)
+            reach[v] = 1.0
+            for _ in range(2):  # two-hop discount, as in the IRIE paper
+                nxt = np.zeros(graph.n)
+                np.add.at(nxt, heads, probs * reach[tails])
+                reach = np.minimum(nxt, 1.0)
+                covered = np.minimum(covered + (1.0 - covered) * reach, 1.0)
+        return MaximizationResult(
+            seeds=seeds,
+            estimated_influence=total,
+            extras={"method": "irie", "alpha": self.alpha},
+        )

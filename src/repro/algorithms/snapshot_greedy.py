@@ -1,0 +1,141 @@
+"""Snapshot greedy — pruned-Monte-Carlo influence maximization (PMC [37] /
+StaticGreedy family).
+
+The simulation-based accelerations the paper's related work cites avoid
+re-simulating for every candidate: sample ``R`` live-edge graphs *once*,
+precompute per-snapshot reachability structure, and run greedy where the
+marginal gain of a vertex is its average newly-reached weight across
+snapshots.  With SCC contraction inside each snapshot (the pruning of PMC),
+gain evaluation is linear in the snapshot DAG size.
+
+This implementation contracts each snapshot to its SCC DAG, memoises
+per-vertex reachable sets on the DAG, and keeps exact decremental gains —
+the same exact-greedy answer as Monte-Carlo greedy with ``R`` common random
+numbers, at a fraction of the cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.frameworks import MaximizationResult
+from ..diffusion.live_edge import sample_live_edge_csr
+from ..diffusion.reachability import reachable_mask
+from ..errors import AlgorithmError
+from ..graph.influence_graph import InfluenceGraph
+from ..partition.partition import Partition
+from ..rng import ensure_rng
+from ..scc import scc_labels
+
+__all__ = ["SnapshotGreedyMaximizer"]
+
+
+class _Snapshot:
+    """One live-edge sample contracted to its SCC DAG."""
+
+    def __init__(self, graph: InfluenceGraph, rng) -> None:
+        indptr, heads = sample_live_edge_csr(graph, rng)
+        labels = scc_labels(indptr, heads)
+        partition = Partition(labels, canonical=False)
+        self.comp = partition.labels
+        n_comp = partition.n_blocks
+        # component weights
+        self.weights = np.zeros(n_comp, dtype=np.float64)
+        np.add.at(self.weights, self.comp, graph.weights.astype(np.float64))
+        # DAG adjacency between components
+        tails = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(indptr))
+        cu, cv = self.comp[tails], self.comp[heads]
+        cross = cu != cv
+        pairs = np.unique(np.stack([cu[cross], cv[cross]], axis=1), axis=0) \
+            if cross.any() else np.empty((0, 2), dtype=np.int64)
+        self.dag_indptr = np.zeros(n_comp + 1, dtype=np.int64)
+        np.add.at(self.dag_indptr, pairs[:, 0] + 1, 1)
+        np.cumsum(self.dag_indptr, out=self.dag_indptr)
+        order = np.argsort(pairs[:, 0], kind="stable")
+        self.dag_heads = pairs[order, 1]
+        self.reached = np.zeros(n_comp, dtype=bool)
+        # Gains depend only on the vertex's component, so they are memoised
+        # per component and invalidated when the reached set grows — the
+        # memoisation that makes PMC-style greedy tractable (vertices merged
+        # into a snapshot's giant SCC all share one cache entry).
+        self._gain_cache: dict[int, float] = {}
+
+    def marginal_weight(self, vertex: int) -> float:
+        """Weight newly reached by seeding ``vertex`` (no mutation)."""
+        comp = int(self.comp[vertex])
+        cached = self._gain_cache.get(comp)
+        if cached is not None:
+            return cached
+        mask = reachable_mask(
+            self.dag_indptr, self.dag_heads,
+            np.asarray([comp], dtype=np.int64),
+        )
+        new = mask & ~self.reached
+        gain = float(self.weights[new].sum())
+        self._gain_cache[comp] = gain
+        return gain
+
+    def commit(self, vertex: int) -> float:
+        """Seed ``vertex``: mark its reachable set, return the new weight."""
+        comp = int(self.comp[vertex])
+        mask = reachable_mask(
+            self.dag_indptr, self.dag_heads,
+            np.asarray([comp], dtype=np.int64),
+        )
+        new = mask & ~self.reached
+        gained = float(self.weights[new].sum())
+        self.reached |= mask
+        self._gain_cache.clear()
+        return gained
+
+
+class SnapshotGreedyMaximizer:
+    """Greedy over ``n_snapshots`` pre-sampled live-edge graphs.
+
+    CELF-style lazy evaluation keeps the number of marginal evaluations
+    near-linear; gains are exact for the sampled snapshot set, so quality
+    matches Monte-Carlo greedy with the same sample budget.
+    """
+
+    def __init__(self, n_snapshots: int = 100, rng=None) -> None:
+        if n_snapshots <= 0:
+            raise AlgorithmError("n_snapshots must be positive")
+        self.n_snapshots = n_snapshots
+        self._rng = ensure_rng(rng)
+
+    def select(self, graph: InfluenceGraph, k: int) -> MaximizationResult:
+        """Select a size-``k`` seed set; returns a :class:`MaximizationResult`."""
+        if not 0 < k <= graph.n:
+            raise AlgorithmError("k must lie in [1, n]")
+        import heapq
+
+        snapshots = [_Snapshot(graph, self._rng)
+                     for _ in range(self.n_snapshots)]
+
+        def marginal(v: int) -> float:
+            return sum(s.marginal_weight(v) for s in snapshots)
+
+        heap: list[tuple[float, int, int]] = [
+            (-marginal(v), v, 0) for v in range(graph.n)
+        ]
+        heapq.heapify(heap)
+        seeds = np.empty(k, dtype=np.int64)
+        total = 0.0
+        evaluations = graph.n
+        for round_no in range(1, k + 1):
+            while True:
+                neg_gain, v, computed_at = heapq.heappop(heap)
+                if computed_at == round_no:
+                    seeds[round_no - 1] = v
+                    total += sum(s.commit(v) for s in snapshots)
+                    break
+                evaluations += 1
+                heapq.heappush(heap, (-marginal(v), v, round_no))
+        return MaximizationResult(
+            seeds=seeds,
+            estimated_influence=total / self.n_snapshots,
+            extras={
+                "snapshots": self.n_snapshots,
+                "evaluations": evaluations,
+            },
+        )

@@ -1,0 +1,35 @@
+"""Evaluation metrics and reliability analysis."""
+
+from .bounds import GuaranteeReport, guarantee_report
+from .exact import exact_influence
+from .metrics import (
+    average_degree,
+    mean_absolute_relative_error,
+    rank_array,
+    scc_size_distribution,
+    spearman_rank_correlation,
+)
+from .structure import core_fringe_split, core_numbers
+from .reliability import (
+    estimate_reliability,
+    exact_reliability,
+    max_scc_rate_samples,
+    reliability_product,
+)
+
+__all__ = [
+    "core_numbers",
+    "core_fringe_split",
+    "GuaranteeReport",
+    "guarantee_report",
+    "exact_influence",
+    "mean_absolute_relative_error",
+    "spearman_rank_correlation",
+    "rank_array",
+    "scc_size_distribution",
+    "average_degree",
+    "exact_reliability",
+    "estimate_reliability",
+    "max_scc_rate_samples",
+    "reliability_product",
+]

@@ -1,0 +1,58 @@
+"""Exact influence computation by live-edge enumeration.
+
+``Inf_G(S)`` is #P-hard in general [9], but for tiny graphs it can be
+computed exactly from the random-graph interpretation (Eq. 2):
+
+    Inf_G(S) = sum over edge subsets X of  p(X | E) * R_{(V, X)}(S)
+
+This is the oracle the test suite uses to validate the Monte-Carlo
+simulator, the RR-set estimator, and the coarsening theorems (Lemma 4.3,
+Theorem 4.6) without statistical slack.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..diffusion.reachability import reachable_weight
+from ..errors import AlgorithmError
+from ..graph.influence_graph import InfluenceGraph
+
+__all__ = ["exact_influence"]
+
+_EXACT_EDGE_LIMIT = 20
+
+
+def exact_influence(graph: InfluenceGraph, seeds: np.ndarray) -> float:
+    """Exact ``Inf_G(S)`` by enumerating all ``2^m`` live-edge graphs.
+
+    Supports vertex-weighted graphs (influence = expected activated weight).
+    Only feasible for ``m <= 20``.
+    """
+    if graph.m > _EXACT_EDGE_LIMIT:
+        raise AlgorithmError(
+            f"exact influence needs m <= {_EXACT_EDGE_LIMIT}, got {graph.m}"
+        )
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if seeds.size == 0:
+        raise AlgorithmError("seed set must be non-empty")
+    tails, heads, probs = graph.edge_arrays()
+    weights = graph.weights
+    total = 0.0
+    for keep in itertools.product((False, True), repeat=graph.m):
+        keep_arr = np.asarray(keep, dtype=bool)
+        weight = float(np.prod(np.where(keep_arr, probs, 1.0 - probs)))
+        if weight == 0.0:
+            continue
+        live_tails = tails[keep_arr]
+        live_heads = heads[keep_arr]
+        indptr = np.zeros(graph.n + 1, dtype=np.int64)
+        np.add.at(indptr, live_tails + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        order = np.argsort(live_tails, kind="stable")
+        total += weight * reachable_weight(
+            indptr, live_heads[order], seeds, weights=weights
+        )
+    return total

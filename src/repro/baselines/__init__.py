@@ -1,0 +1,6 @@
+"""Reimplementations of the Table 6 comparison baselines."""
+
+from .coarsenet import coarsenet
+from .spine import Cascade, generate_cascades, spine
+
+__all__ = ["coarsenet", "spine", "generate_cascades", "Cascade"]

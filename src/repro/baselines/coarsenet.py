@@ -1,0 +1,170 @@
+"""COARSENET (Purohit et al., KDD 2014 [40]) — spectral coarsening baseline.
+
+COARSENET contracts the edges whose removal-by-merge least perturbs the
+dominant eigenvalue ``lambda_1`` of the probability-weighted adjacency
+matrix, since ``lambda_1`` governs the epidemic threshold / expected spread.
+The reimplementation follows the published recipe:
+
+1. compute the dominant right and left eigenvectors ``x``, ``y`` by power
+   iteration (the role Octave's eigensolver plays for the authors);
+2. score each edge ``(a, b)`` with the first-order eigenvalue perturbation
+   induced by merging ``a`` and ``b``;
+3. contract the lowest-scoring edges (as a matching, so merges do not
+   interact within one pass) until the requested edge-reduction ratio is
+   reached, re-scoring between passes.
+
+Faithful *cost* characteristics are the point of this baseline (Table 6
+compares run times): per pass it does dense O(n) vector work plus an
+O(n * Delta)-flavoured scoring sweep, and it keeps several dense float
+vectors alive — which is what makes it lose to r-robust-SCC coarsening at
+scale.  Simplification vs. the original: we merge via the generic
+:func:`repro.core.coarsen.coarsen` contraction (noisy-or edge bundles)
+rather than CoarseNet's averaged-weight merge; the measured asymptotics are
+unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from ..core.coarsen import coarsen
+from ..core.result import CoarsenResult, CoarsenStats
+from ..errors import AlgorithmError
+from ..graph.influence_graph import InfluenceGraph
+from ..partition.partition import Partition
+
+__all__ = ["coarsenet"]
+
+
+def _dominant_eigenpair(
+    graph: InfluenceGraph, iterations: int = 50, tol: float = 1e-10
+) -> tuple[float, np.ndarray, np.ndarray]:
+    """Power iteration for the dominant right/left eigenvectors of ``A``.
+
+    ``A[u, v] = p(u, v)``.  Returns ``(lambda_1, x, y)`` with ``A x ~ l x``
+    and ``A^T y ~ l y``; vectors are L2-normalised.
+    """
+    n = graph.n
+    tails, heads, probs = graph.edge_arrays()
+    x = np.full(n, 1.0 / np.sqrt(n))
+    y = x.copy()
+    lam = 0.0
+    for _ in range(iterations):
+        new_x = np.zeros(n)
+        np.add.at(new_x, tails, probs * x[heads])
+        new_y = np.zeros(n)
+        np.add.at(new_y, heads, probs * y[tails])
+        norm_x = np.linalg.norm(new_x)
+        norm_y = np.linalg.norm(new_y)
+        if norm_x <= tol or norm_y <= tol:
+            # Nilpotent-ish adjacency (a DAG); eigenvalue ~ 0.
+            return 0.0, x, y
+        new_x /= norm_x
+        new_y /= norm_y
+        if abs(norm_x - lam) < tol:
+            x, y = new_x, new_y
+            break
+        lam = norm_x
+        x, y = new_x, new_y
+    return lam, x, y
+
+
+def _edge_scores(
+    graph: InfluenceGraph, lam: float, x: np.ndarray, y: np.ndarray
+) -> np.ndarray:
+    """First-order |delta lambda_1| of merging each edge's endpoints.
+
+    Standard matrix-perturbation estimate: merging ``a`` and ``b`` removes
+    the ``(a, b)`` / ``(b, a)`` couplings and superposes the endpoints, so
+
+        delta ~ (y_a + y_b)(x_a + x_b) * p_ab_avg - lam * (x_a y_a + x_b y_b)
+
+    normalised by ``y^T x``.  Lower |score| = safer to contract.
+    """
+    tails, heads, probs = graph.edge_arrays()
+    denom = float(y @ x)
+    if denom <= 0.0:
+        denom = 1.0
+    xa, xb = x[tails], x[heads]
+    ya, yb = y[tails], y[heads]
+    delta = (ya + yb) * (xa + xb) * probs * 0.5 - lam * (xa * ya + xb * yb)
+    return np.abs(delta) / denom
+
+
+def coarsenet(
+    graph: InfluenceGraph,
+    target_edge_ratio: float,
+    max_passes: int = 400,
+    power_iterations: int = 100,
+    batch_fraction: float = 0.02,
+) -> CoarsenResult:
+    """Coarsen ``graph`` down to ``target_edge_ratio`` of its edges.
+
+    Parameters
+    ----------
+    target_edge_ratio:
+        Desired ``|F| / |E|`` (Table 6 runs COARSENET at the same reduction
+        ratio as the proposed algorithm's output).
+    max_passes:
+        Safety bound on score-contract passes.
+    batch_fraction:
+        Fraction of the remaining reduction performed per eigen-rescore.
+        The original re-scores after every contraction; batching keeps the
+        reimplementation runnable while preserving the dominant cost — many
+        eigensolves over the shrinking graph.
+    """
+    if not 0.0 < target_edge_ratio <= 1.0:
+        raise AlgorithmError("target_edge_ratio must lie in (0, 1]")
+    t0 = time.perf_counter()
+    target_edges = int(graph.m * target_edge_ratio)
+    current = graph
+    # pi maps original vertices to current coarse vertices across passes.
+    pi_total = np.arange(graph.n, dtype=np.int64)
+
+    for _ in range(max_passes):
+        if current.m <= target_edges or current.m == 0:
+            break
+        lam, x, y = _dominant_eigenpair(current, iterations=power_iterations)
+        scores = _edge_scores(current, lam, x, y)
+        order = np.argsort(scores, kind="stable")
+        # Contract a small matching of the best-scoring edges, then re-score.
+        remaining = current.m - target_edges
+        budget = max(1, int(math.ceil(remaining * batch_fraction)))
+        tails, heads, _ = current.edge_arrays()
+        merge_to = np.arange(current.n, dtype=np.int64)
+        used = np.zeros(current.n, dtype=bool)
+        merged = 0
+        for e in order:
+            a, b = int(tails[e]), int(heads[e])
+            if used[a] or used[b]:
+                continue
+            used[a] = used[b] = True
+            merge_to[b] = a
+            merged += 1
+            if merged >= budget:
+                break
+        if merged == 0:
+            break
+        partition = Partition(merge_to)
+        coarse, pi = coarsen(current, partition)
+        pi_total = pi[pi_total]
+        current = coarse
+
+    t1 = time.perf_counter()
+    partition = Partition(pi_total)
+    stats = CoarsenStats(
+        r=0,
+        first_stage_seconds=t1 - t0,
+        second_stage_seconds=0.0,
+        input_vertices=graph.n,
+        input_edges=graph.m,
+        output_vertices=current.n,
+        output_edges=current.m,
+        extras={"method": "coarsenet", "target_edge_ratio": target_edge_ratio},
+    )
+    return CoarsenResult(
+        coarse=current, pi=pi_total, partition=partition, stats=stats
+    )

@@ -1,0 +1,19 @@
+"""Benchmark harness: measurement, resource budgets, table rendering."""
+
+from .ascii_plot import ascii_plot
+from .harness import Budget, RunOutcome, format_seconds, run_budgeted
+from .memory import MeasuredRun, measure
+from .tables import render_series, render_table, save_json
+
+__all__ = [
+    "ascii_plot",
+    "Budget",
+    "RunOutcome",
+    "run_budgeted",
+    "format_seconds",
+    "measure",
+    "MeasuredRun",
+    "render_table",
+    "render_series",
+    "save_json",
+]

@@ -1,0 +1,95 @@
+"""Terminal line plots for the figure benchmarks.
+
+The paper's figures are log-scale line charts; in a text-only environment
+the benchmarks render the same series as a monospace chart (plus the exact
+numbers as a table and JSON).  Pure string manipulation — no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:g}"
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: "dict[str, Sequence[float]]",
+    title: str = "",
+    width: int = 60,
+    height: int = 16,
+    log_x: bool = False,
+) -> str:
+    """Render one or more ``y(x)`` series as a monospace chart.
+
+    Parameters
+    ----------
+    xs:
+        Shared x coordinates (positive when ``log_x``).
+    series:
+        Mapping of legend label to y values (aligned with ``xs``).
+    width, height:
+        Plot-area size in characters.
+    log_x:
+        Place x ticks on a log scale (the paper's r sweeps are log-spaced).
+    """
+    if not series or not xs:
+        return title
+    x_vals = [math.log2(x) for x in xs] if log_x else list(map(float, xs))
+    y_all = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(y_all), max(y_all)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x_vals), max(x_vals)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    for (label, ys), marker in zip(series.items(), _MARKERS):
+        for x, y in zip(x_vals, ys):
+            place(x, float(y), marker)
+
+    y_labels = [_format_tick(y_max), _format_tick((y_min + y_max) / 2),
+                _format_tick(y_min)]
+    label_width = max(len(t) for t in y_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            tick = y_labels[0]
+        elif i == height // 2:
+            tick = y_labels[1]
+        elif i == height - 1:
+            tick = y_labels[2]
+        else:
+            tick = ""
+        lines.append(f"{tick:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_left = _format_tick(xs[0])
+    x_right = _format_tick(xs[-1])
+    pad = width - len(x_left) - len(x_right)
+    lines.append(" " * (label_width + 2) + x_left + " " * max(pad, 1) + x_right)
+    legend = "   ".join(
+        f"{marker} {label}" for (label, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(" " * (label_width + 2) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Peak-memory measurement for benchmark runs.
+
+Uses :mod:`tracemalloc` so the number reported is the Python-level peak
+allocation of the measured call — the right analogue of the paper's
+"memory usage" column, because every competing implementation here is
+measured the same way.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["MeasuredRun", "measure"]
+
+
+@dataclass
+class MeasuredRun:
+    """Result of a measured call."""
+
+    result: Any
+    seconds: float
+    peak_bytes: int
+
+    @property
+    def peak_mb(self) -> float:
+        return self.peak_bytes / (1024 * 1024)
+
+
+def measure(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> MeasuredRun:
+    """Run ``fn`` under tracemalloc, returning result, wall time and peak.
+
+    tracemalloc adds interpreter overhead, so wall times measured here are
+    comparable *to each other* but slower than un-instrumented runs; the
+    harness therefore measures time and memory in separate invocations when
+    a table reports both.
+    """
+    tracemalloc.start()
+    tracemalloc.reset_peak()
+    t0 = time.perf_counter()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    seconds = time.perf_counter() - t0
+    return MeasuredRun(result=result, seconds=seconds, peak_bytes=peak)

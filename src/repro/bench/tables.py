@@ -1,0 +1,50 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+Every benchmark prints the same rows or series its paper counterpart
+reports, via these helpers, and can persist the raw numbers as JSON next to
+the formatted output (consumed by ``EXPERIMENTS.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_series", "save_json"]
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) if i else c.ljust(w)
+                         for i, (c, w) in enumerate(zip(row, widths)))
+
+    lines = [title, "=" * len(title), fmt(list(headers)),
+             "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def render_series(title: str, x_label: str, xs: Sequence[Any],
+                  series: dict[str, Sequence[Any]]) -> str:
+    """Render a figure's data as one row per x value (one column per line)."""
+    headers = [x_label, *series.keys()]
+    rows = [[x, *(s[i] for s in series.values())] for i, x in enumerate(xs)]
+    return render_table(title, headers, rows)
+
+
+def save_json(payload: dict, path: str) -> None:
+    """Persist raw benchmark numbers (creates parent directories)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)

@@ -1,0 +1,262 @@
+"""Command-line interface.
+
+Thin argparse front-end over the library for shell pipelines::
+
+    python -m repro datasets
+    python -m repro info dataset:soc-slashdot:exp
+    python -m repro coarsen dataset:soc-slashdot:exp -r 16 -o coarse.txt
+    python -m repro estimate dataset:soc-slashdot:exp --seeds 1,2,3 --coarsen
+    python -m repro maximize edges.txt -k 10 --algorithm dssa --coarsen
+
+Graphs are given either as an edge-list path (``u v [p]`` per line) or as
+``dataset:NAME[:SETTING[:SEED]]`` referencing the built-in registry.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from .algorithms import (
+    CELFMaximizer,
+    DegreeHeuristic,
+    DSSAMaximizer,
+    IMMMaximizer,
+    MonteCarloEstimator,
+    RISMaximizer,
+    SSAMaximizer,
+)
+from .analysis.bounds import guarantee_report
+from .core import (
+    coarsen_influence_graph,
+    estimate_on_coarse,
+    maximize_on_coarse,
+)
+from .datasets import list_datasets, load_dataset
+from .errors import ReproError
+from .graph import InfluenceGraph, read_edge_list, write_edge_list
+
+__all__ = ["main"]
+
+_MAXIMIZERS = {
+    "dssa": lambda args: DSSAMaximizer(eps=args.eps, delta=args.delta,
+                                       rng=args.seed, model=args.model),
+    "ssa": lambda args: SSAMaximizer(eps=args.eps, delta=args.delta,
+                                     rng=args.seed, model=args.model),
+    "imm": lambda args: IMMMaximizer(eps=max(args.eps, 0.1), rng=args.seed,
+                                     model=args.model),
+    "ris": lambda args: RISMaximizer(n_sets=args.simulations, rng=args.seed,
+                                     model=args.model),
+    "celf": lambda args: CELFMaximizer(
+        MonteCarloEstimator(args.simulations, rng=args.seed)
+    ),
+    "degree": lambda args: DegreeHeuristic(),
+}
+
+
+def _load_graph(spec: str, default_prob: float, undirected: bool,
+                reverse: bool) -> InfluenceGraph:
+    if spec.startswith("dataset:"):
+        parts = spec.split(":")
+        name = parts[1]
+        setting = parts[2] if len(parts) > 2 else "exp"
+        seed = int(parts[3]) if len(parts) > 3 else 0
+        return load_dataset(name, setting=setting, seed=seed)
+    return read_edge_list(spec, default_prob=default_prob,
+                          undirected=undirected, reverse=reverse)
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph", help="edge-list path or dataset:NAME[:SETTING[:SEED]]")
+    parser.add_argument("--default-prob", type=float, default=0.1,
+                        help="probability for edge lists without a p column")
+    parser.add_argument("--undirected", action="store_true",
+                        help="treat edge-list edges as undirected")
+    parser.add_argument("--reverse", action="store_true",
+                        help="flip edge-list edges (web-graph convention)")
+
+
+def _parse_seeds(text: str, n: int) -> np.ndarray:
+    try:
+        seeds = np.asarray([int(s) for s in text.split(",") if s], dtype=np.int64)
+    except ValueError as exc:
+        raise ReproError(f"could not parse seed list {text!r}") from exc
+    if seeds.size == 0:
+        raise ReproError("seed list is empty")
+    if seeds.min() < 0 or seeds.max() >= n:
+        raise ReproError("seed id out of range")
+    return seeds
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    from .datasets import DATASETS
+
+    print(f"{'name':18} {'kind':8} {'tier':7} {'paper |V|':>12} {'paper |E|':>14}")
+    for name in list_datasets():
+        spec = DATASETS[name]
+        print(f"{name:18} {spec.kind:8} {spec.tier:7} "
+              f"{spec.paper_vertices:>12,} {spec.paper_edges:>14,}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.default_prob, args.undirected,
+                        args.reverse)
+    degrees = graph.out_degree()
+    print(f"vertices: {graph.n:,}")
+    print(f"edges:    {graph.m:,}")
+    print(f"weighted: {graph.is_weighted} (total weight {graph.total_weight:,})")
+    print(f"avg degree: {graph.m / max(graph.n, 1):.2f} "
+          f"(max out-degree {int(degrees.max(initial=0))})")
+    print(f"probabilities: min {graph.probs.min(initial=1):.4g}, "
+          f"mean {float(graph.probs.mean()) if graph.m else 0:.4g}, "
+          f"max {graph.probs.max(initial=0):.4g}")
+    return 0
+
+
+def _cmd_coarsen(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.default_prob, args.undirected,
+                        args.reverse)
+    result = coarsen_influence_graph(graph, r=args.r, rng=args.seed)
+    stats = result.stats
+    print(f"coarsened in {stats.total_seconds:.2f} s (r={args.r})")
+    print(f"|W| = {stats.output_vertices:,} "
+          f"({stats.vertex_reduction_ratio:.1%} of |V|)")
+    print(f"|F| = {stats.output_edges:,} "
+          f"({stats.edge_reduction_ratio:.1%} of |E|)")
+    if args.output:
+        write_edge_list(result.coarse, args.output)
+        mapping_path = args.output + ".mapping"
+        np.savetxt(mapping_path, result.pi, fmt="%d")
+        print(f"coarse graph -> {args.output}; pi -> {mapping_path}")
+    if args.bounds:
+        report = guarantee_report(graph, result, rng=args.seed)
+        print(report.summary())
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.default_prob, args.undirected,
+                        args.reverse)
+    seeds = _parse_seeds(args.seeds, graph.n)
+    estimator = MonteCarloEstimator(args.simulations, rng=args.seed)
+    t0 = time.perf_counter()
+    if args.coarsen:
+        result = coarsen_influence_graph(graph, r=args.r, rng=args.seed)
+        value = estimate_on_coarse(result, seeds, estimator)
+    else:
+        value = estimator.estimate(graph, seeds)
+    seconds = time.perf_counter() - t0
+    print(f"Inf({seeds.tolist()}) ~= {value:.2f} "
+          f"({args.simulations} simulations, {seconds:.2f} s"
+          f"{', via coarse graph' if args.coarsen else ''})")
+    return 0
+
+
+def _cmd_maximize(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.default_prob, args.undirected,
+                        args.reverse)
+    if getattr(args, "model", "ic") == "lt":
+        if args.coarsen:
+            raise ReproError(
+                "the coarsening guarantees are IC-only; --model lt cannot "
+                "be combined with --coarsen"
+            )
+        if args.algorithm in ("celf", "degree"):
+            raise ReproError(
+                f"--model lt is supported by the sketch algorithms only, "
+                f"not {args.algorithm}"
+            )
+    maximizer = _MAXIMIZERS[args.algorithm](args)
+    t0 = time.perf_counter()
+    if args.coarsen:
+        result = coarsen_influence_graph(graph, r=args.r, rng=args.seed)
+        answer = maximize_on_coarse(result, args.k, maximizer, rng=args.seed)
+    else:
+        answer = maximizer.select(graph, args.k)
+    seconds = time.perf_counter() - t0
+    print(f"seeds: {','.join(map(str, answer.seeds.tolist()))}")
+    print(f"estimated influence: {answer.estimated_influence:.2f} "
+          f"({args.algorithm}, {seconds:.2f} s"
+          f"{', via coarse graph' if args.coarsen else ''})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Influence-graph coarsening and diffusion analysis "
+                    "(SIGMOD 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list built-in dataset analogues")
+
+    p_info = sub.add_parser("info", help="print graph statistics")
+    _add_graph_arguments(p_info)
+
+    p_coarsen = sub.add_parser("coarsen", help="coarsen a graph (Algorithm 1)")
+    _add_graph_arguments(p_coarsen)
+    p_coarsen.add_argument("-r", type=int, default=16,
+                           help="robustness parameter (default 16)")
+    p_coarsen.add_argument("--seed", type=int, default=0)
+    p_coarsen.add_argument("-o", "--output",
+                           help="write the coarse graph as an edge list "
+                                "(and pi as OUTPUT.mapping)")
+    p_coarsen.add_argument("--bounds", action="store_true",
+                           help="estimate the Theorem 6.1/6.2 guarantees")
+
+    p_est = sub.add_parser("estimate",
+                           help="estimate influence of a seed set (Algorithm 3)")
+    _add_graph_arguments(p_est)
+    p_est.add_argument("--seeds", required=True,
+                       help="comma-separated vertex ids")
+    p_est.add_argument("--simulations", type=int, default=10_000)
+    p_est.add_argument("--coarsen", action="store_true",
+                       help="run on the coarsened graph")
+    p_est.add_argument("-r", type=int, default=16)
+    p_est.add_argument("--seed", type=int, default=0)
+
+    p_max = sub.add_parser("maximize",
+                           help="select an influential seed set (Algorithm 4)")
+    _add_graph_arguments(p_max)
+    p_max.add_argument("-k", type=int, required=True, help="seed-set size")
+    p_max.add_argument("--algorithm", choices=sorted(_MAXIMIZERS),
+                       default="dssa")
+    p_max.add_argument("--eps", type=float, default=0.1)
+    p_max.add_argument("--delta", type=float, default=0.01)
+    p_max.add_argument("--simulations", type=int, default=10_000,
+                       help="budget for the ris/celf algorithms")
+    p_max.add_argument("--model", choices=("ic", "lt"), default="ic",
+                       help="diffusion model for the sketch algorithms "
+                            "(lt requires LT-valid weights, e.g. WC; "
+                            "--coarsen is IC-only)")
+    p_max.add_argument("--coarsen", action="store_true",
+                       help="run on the coarsened graph")
+    p_max.add_argument("-r", type=int, default=16)
+    p_max.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "info": _cmd_info,
+    "coarsen": _cmd_coarsen,
+    "estimate": _cmd_estimate,
+    "maximize": _cmd_maximize,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: influence-graph coarsening.
+
+* :func:`coarsen_influence_graph` — Algorithm 1 (linear space, in memory);
+* :func:`coarsen_influence_graph_sublinear` — Algorithm 2 (disk streaming);
+* :func:`coarsen_influence_graph_parallel` — Algorithm 6;
+* :class:`DynamicCoarsener` — Algorithm 7;
+* :func:`estimate_on_coarse` / :func:`maximize_on_coarse` — Algorithms 3/4.
+"""
+
+from .coarsen import check_partition_strongly_connected, coarsen
+from .dynamic import DynamicCoarsener, DynamicStats
+from .frameworks import (
+    InfluenceEstimator,
+    InfluenceMaximizer,
+    MaximizationResult,
+    estimate_on_coarse,
+    maximize_on_coarse,
+)
+from .linear_space import coarsen_influence_graph
+from .persistence import load_coarsening, save_coarsening
+from .parallel import coarsen_influence_graph_parallel, split_rounds
+from .result import CoarsenResult, CoarsenStats
+from .robust_scc import robust_scc_partition, robust_scc_refinement_sequence
+from .tuning import RSweepPoint, r_sweep
+from .sublinear_space import SublinearResult, coarsen_influence_graph_sublinear
+
+__all__ = [
+    "r_sweep",
+    "RSweepPoint",
+    "save_coarsening",
+    "load_coarsening",
+    "coarsen",
+    "check_partition_strongly_connected",
+    "robust_scc_partition",
+    "robust_scc_refinement_sequence",
+    "coarsen_influence_graph",
+    "coarsen_influence_graph_sublinear",
+    "coarsen_influence_graph_parallel",
+    "split_rounds",
+    "SublinearResult",
+    "CoarsenResult",
+    "CoarsenStats",
+    "DynamicCoarsener",
+    "DynamicStats",
+    "estimate_on_coarse",
+    "maximize_on_coarse",
+    "InfluenceEstimator",
+    "InfluenceMaximizer",
+    "MaximizationResult",
+]

@@ -1,0 +1,105 @@
+"""The influence-analysis acceleration frameworks (Section 6).
+
+Both frameworks are *generic*: they accept any estimation / maximization
+algorithm ``A`` and run it on the coarsened graph ``H`` instead of ``G``,
+then translate the answer back through the correspondence mapping ``pi``.
+
+* Algorithm 3 (:func:`estimate_on_coarse`): ``Inf_G(S)`` is approximated by
+  running ``A`` on ``H`` with seed set ``pi(S)``.  Theorem 6.1 bounds the
+  relative error by ``[-eps, (1 + eps) / prod Rel(G[C_j]) - 1]``.
+* Algorithm 4 (:func:`maximize_on_coarse`): a size-``k`` solution ``T`` on
+  ``H`` is pulled back to ``S`` with ``pi(S) = T`` by picking a uniformly
+  random member of each block.  Theorem 6.2: an alpha-approximation on ``H``
+  is an ``alpha * prod Rel(G[C_j])``-approximation on ``G``.
+
+Algorithms plug in via two tiny protocols:
+
+* estimator: ``estimate(graph, seeds) -> float``
+* maximizer: ``select(graph, k) -> MaximizationResult``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from ..graph.influence_graph import InfluenceGraph
+from ..rng import ensure_rng
+from .result import CoarsenResult
+
+__all__ = [
+    "InfluenceEstimator",
+    "InfluenceMaximizer",
+    "MaximizationResult",
+    "estimate_on_coarse",
+    "maximize_on_coarse",
+]
+
+
+class InfluenceEstimator(Protocol):
+    """Anything that can estimate ``Inf_G(S)`` on a (weighted) graph."""
+
+    def estimate(self, graph: InfluenceGraph, seeds: np.ndarray) -> float:
+        """Return an estimate of ``Inf_graph(seeds)``."""
+        ...
+
+
+@dataclass
+class MaximizationResult:
+    """Output of an influence-maximization algorithm."""
+
+    seeds: np.ndarray
+    estimated_influence: float
+    extras: dict | None = None
+
+
+class InfluenceMaximizer(Protocol):
+    """Anything that can pick a size-``k`` seed set on a (weighted) graph."""
+
+    def select(self, graph: InfluenceGraph, k: int) -> MaximizationResult:
+        """Return a size-``k`` seed selection for ``graph``."""
+        ...
+
+
+def estimate_on_coarse(
+    result: CoarsenResult,
+    seeds: np.ndarray,
+    estimator: InfluenceEstimator,
+) -> float:
+    """Algorithm 3: estimate ``Inf_G(S)`` by estimating ``Inf_H(pi(S))``.
+
+    The returned value over-estimates ``Inf_G(S)`` by at most the
+    reliability factor of Theorem 6.1 (and never under-estimates beyond the
+    estimator's own error).
+    """
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if seeds.size == 0:
+        raise AlgorithmError("seed set must be non-empty")
+    coarse_seeds = result.map_seeds(seeds)
+    return estimator.estimate(result.coarse, coarse_seeds)
+
+
+def maximize_on_coarse(
+    result: CoarsenResult,
+    k: int,
+    maximizer: InfluenceMaximizer,
+    rng=None,
+) -> MaximizationResult:
+    """Algorithm 4: solve influence maximization on ``H`` and pull back.
+
+    Each coarse seed in the solution ``T`` is replaced by a uniformly random
+    original vertex of its block, yielding ``S`` with ``pi(S) = T``.
+    """
+    if k <= 0:
+        raise AlgorithmError("k must be positive")
+    rng = ensure_rng(rng)
+    coarse_result = maximizer.select(result.coarse, k)
+    seeds = result.pull_back(coarse_result.seeds, rng=rng)
+    return MaximizationResult(
+        seeds=seeds,
+        estimated_influence=coarse_result.estimated_influence,
+        extras={"coarse_seeds": coarse_result.seeds, **(coarse_result.extras or {})},
+    )

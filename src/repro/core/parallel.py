@@ -1,0 +1,109 @@
+"""Algorithm 6 — parallel coarsening.
+
+The first stage is embarrassingly parallel: worker ``t`` builds the partition
+of all ``r_t``-robust SCCs from its own live-edge samples, with
+``sum r_t = r`` balanced so ``|r_t1 - r_t2| <= 1``.  The meet of the ``T``
+worker partitions equals the r-robust SCC partition (meet is associative and
+commutative), after which the second stage proceeds as in Algorithm 1.
+
+Executors
+---------
+``"serial"``  — run workers in-process (baseline / debugging);
+``"thread"``  — shared-memory parallelism (the paper's OpenMP variant);
+``"process"`` — distributed-memory parallelism (the paper's MPI variant);
+              the graph is shipped to each worker process, mirroring the
+              master-to-slave graph broadcast in Appendix C.1.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from functools import reduce
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from ..graph.influence_graph import InfluenceGraph
+from ..partition.partition import Partition
+from ..rng import spawn_rngs
+from .coarsen import coarsen
+from .result import CoarsenResult, CoarsenStats
+from .robust_scc import robust_scc_partition
+
+__all__ = ["coarsen_influence_graph_parallel", "split_rounds"]
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+def split_rounds(r: int, workers: int) -> list[int]:
+    """Balanced split ``r_t = floor((r + t - 1) / T)`` (Algorithm 6, line 2)."""
+    if workers <= 0:
+        raise AlgorithmError("worker count must be positive")
+    counts = [(r + t) // workers for t in range(workers)]
+    assert sum(counts) == r
+    return counts
+
+
+def _worker(graph: InfluenceGraph, r_t: int, seed: int, scc_backend: str) -> np.ndarray:
+    partition = robust_scc_partition(graph, r_t, rng=seed, scc_backend=scc_backend)
+    return partition.labels
+
+
+def coarsen_influence_graph_parallel(
+    graph: InfluenceGraph,
+    r: int = 16,
+    workers: int = 4,
+    rng=None,
+    executor: str = "thread",
+    scc_backend: str = "tarjan",
+) -> CoarsenResult:
+    """Coarsen ``graph`` using ``workers`` parallel partition builders.
+
+    Produces a graph from the same distribution as Algorithm 1 with the same
+    total sample count ``r`` (the per-worker RNG streams are derived from
+    ``rng``, so a fixed seed gives a reproducible result for a fixed worker
+    count).
+    """
+    if executor not in _EXECUTORS:
+        raise AlgorithmError(f"executor must be one of {_EXECUTORS}")
+    t0 = time.perf_counter()
+    rounds = split_rounds(r, workers)
+    child_rngs = spawn_rngs(rng, workers)
+    seeds = [int(c.integers(0, 2**62)) for c in child_rngs]
+
+    if executor == "serial":
+        label_arrays = [
+            _worker(graph, r_t, seed, scc_backend)
+            for r_t, seed in zip(rounds, seeds)
+        ]
+    else:
+        pool_cls = (
+            concurrent.futures.ThreadPoolExecutor
+            if executor == "thread"
+            else concurrent.futures.ProcessPoolExecutor
+        )
+        with pool_cls(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_worker, graph, r_t, seed, scc_backend)
+                for r_t, seed in zip(rounds, seeds)
+            ]
+            label_arrays = [f.result() for f in futures]
+
+    partitions = [Partition(labels) for labels in label_arrays]
+    partition = reduce(lambda a, b: a.meet(b), partitions)
+    t1 = time.perf_counter()
+
+    coarse, pi = coarsen(graph, partition)
+    t2 = time.perf_counter()
+    stats = CoarsenStats(
+        r=r,
+        first_stage_seconds=t1 - t0,
+        second_stage_seconds=t2 - t1,
+        input_vertices=graph.n,
+        input_edges=graph.m,
+        output_vertices=coarse.n,
+        output_edges=coarse.m,
+        extras={"workers": workers, "executor": executor, "rounds": rounds},
+    )
+    return CoarsenResult(coarse=coarse, pi=pi, partition=partition, stats=stats)

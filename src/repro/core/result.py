@@ -1,0 +1,91 @@
+"""Result objects returned by the coarsening implementations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CoarseningError
+from ..graph.influence_graph import InfluenceGraph
+from ..partition.partition import Partition
+from ..rng import ensure_rng
+
+__all__ = ["CoarsenResult", "CoarsenStats"]
+
+
+@dataclass
+class CoarsenStats:
+    """Timing/size observability for a coarsening run."""
+
+    r: int = 0
+    first_stage_seconds: float = 0.0
+    second_stage_seconds: float = 0.0
+    input_vertices: int = 0
+    input_edges: int = 0
+    output_vertices: int = 0
+    output_edges: int = 0
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.first_stage_seconds + self.second_stage_seconds
+
+    @property
+    def vertex_reduction_ratio(self) -> float:
+        """``|W| / |V|`` — lower is better."""
+        if self.input_vertices == 0:
+            return 1.0
+        return self.output_vertices / self.input_vertices
+
+    @property
+    def edge_reduction_ratio(self) -> float:
+        """``|F| / |E|`` — lower is better."""
+        if self.input_edges == 0:
+            return 1.0
+        return self.output_edges / self.input_edges
+
+
+@dataclass
+class CoarsenResult:
+    """A coarsened influence graph together with the correspondence mapping.
+
+    Attributes
+    ----------
+    coarse:
+        The vertex-weighted influence graph ``H = (W, F, q, w)``.
+    pi:
+        The correspondence mapping ``pi : V -> W`` as an ``int64`` array —
+        ``pi[v]`` is the coarse vertex holding original vertex ``v``.
+    partition:
+        The coarsened vertex partition (blocks indexed by coarse vertex id).
+    stats:
+        Run statistics (timings, sizes).
+    """
+
+    coarse: InfluenceGraph
+    pi: np.ndarray
+    partition: Partition
+    stats: CoarsenStats
+
+    def map_seeds(self, seeds: np.ndarray) -> np.ndarray:
+        """Translate a seed set ``S ⊆ V`` to ``pi(S) ⊆ W`` (deduplicated)."""
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if seeds.size and (seeds.min() < 0 or seeds.max() >= self.pi.size):
+            raise CoarseningError("seed vertex outside the original graph")
+        return np.unique(self.pi[seeds])
+
+    def pull_back(self, coarse_seeds: np.ndarray, rng=None) -> np.ndarray:
+        """Translate coarse seeds ``T ⊆ W`` back to ``S ⊆ V`` with ``pi(S) = T``.
+
+        Each coarse vertex is replaced by a uniformly random member of its
+        block (Algorithm 4, line 2).
+        """
+        rng = ensure_rng(rng)
+        coarse_seeds = np.asarray(coarse_seeds, dtype=np.int64)
+        blocks = self.partition.blocks()
+        out = np.empty(coarse_seeds.size, dtype=np.int64)
+        for i, c in enumerate(coarse_seeds):
+            members = blocks[int(c)]
+            out[i] = int(members[rng.integers(members.size)])
+        return out

@@ -1,0 +1,36 @@
+"""Dataset analogues and probability settings (Section 7.1)."""
+
+from .generators import (
+    collaboration_graph,
+    core_fringe_graph,
+    powerlaw_social_graph,
+    rmat_graph,
+    web_graph,
+)
+from .probabilities import (
+    PROBABILITY_SETTINGS,
+    apply_setting,
+    assign_exponential,
+    assign_trivalency,
+    assign_uniform,
+    assign_weighted_cascade,
+)
+from .registry import DATASETS, DatasetSpec, list_datasets, load_dataset
+
+__all__ = [
+    "core_fringe_graph",
+    "powerlaw_social_graph",
+    "rmat_graph",
+    "web_graph",
+    "collaboration_graph",
+    "apply_setting",
+    "assign_exponential",
+    "assign_trivalency",
+    "assign_uniform",
+    "assign_weighted_cascade",
+    "PROBABILITY_SETTINGS",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "list_datasets",
+]

@@ -1,0 +1,77 @@
+"""Influence-probability settings from the paper's setup (Section 7.1).
+
+Four standard assignments over a fixed topology:
+
+* ``EXP`` — exponential with mean 0.1 (empirically motivated [3, 13]),
+  truncated to ``(0, 1]``;
+* ``TRI`` — trivalency: uniform choice from ``{0.1, 0.01, 0.001}`` [9];
+* ``UC``  — uniform cascade: constant 0.1 [22];
+* ``WC``  — weighted cascade: ``p(u, v) = 1 / indegree(v)`` [22].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from ..graph.influence_graph import InfluenceGraph
+from ..rng import ensure_rng
+
+__all__ = [
+    "assign_exponential",
+    "assign_trivalency",
+    "assign_uniform",
+    "assign_weighted_cascade",
+    "apply_setting",
+    "PROBABILITY_SETTINGS",
+]
+
+
+def assign_exponential(
+    graph: InfluenceGraph, rng=None, mean: float = 0.1
+) -> InfluenceGraph:
+    """EXP setting: i.i.d. exponential(mean) probabilities, clipped to (0, 1]."""
+    rng = ensure_rng(rng)
+    probs = rng.exponential(scale=mean, size=graph.m)
+    probs = np.clip(probs, np.nextafter(0.0, 1.0), 1.0)
+    return graph.with_probabilities(probs)
+
+
+def assign_trivalency(graph: InfluenceGraph, rng=None) -> InfluenceGraph:
+    """TRI setting: uniform random choice from {0.1, 0.01, 0.001}."""
+    rng = ensure_rng(rng)
+    choices = np.array([0.1, 0.01, 0.001])
+    return graph.with_probabilities(choices[rng.integers(0, 3, size=graph.m)])
+
+
+def assign_uniform(graph: InfluenceGraph, p: float = 0.1) -> InfluenceGraph:
+    """UC setting: every edge gets the constant probability ``p``."""
+    if not 0.0 < p <= 1.0:
+        raise AlgorithmError("uniform probability must lie in (0, 1]")
+    return graph.with_probabilities(np.full(graph.m, p))
+
+
+def assign_weighted_cascade(graph: InfluenceGraph) -> InfluenceGraph:
+    """WC setting: ``p(u, v) = 1 / indegree(v)``."""
+    indeg = graph.in_degree().astype(np.float64)
+    probs = 1.0 / indeg[graph.heads]
+    return graph.with_probabilities(probs)
+
+
+PROBABILITY_SETTINGS = ("exp", "tri", "uc", "wc")
+
+
+def apply_setting(graph: InfluenceGraph, setting: str, rng=None) -> InfluenceGraph:
+    """Apply one of the four named settings (case-insensitive)."""
+    setting = setting.lower()
+    if setting == "exp":
+        return assign_exponential(graph, rng)
+    if setting == "tri":
+        return assign_trivalency(graph, rng)
+    if setting == "uc":
+        return assign_uniform(graph)
+    if setting == "wc":
+        return assign_weighted_cascade(graph)
+    raise AlgorithmError(
+        f"unknown probability setting {setting!r}; choose from {PROBABILITY_SETTINGS}"
+    )

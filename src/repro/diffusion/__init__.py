@@ -1,0 +1,41 @@
+"""Independent Cascade diffusion substrate.
+
+Forward Monte-Carlo simulation, live-edge sampling (the random-graph
+interpretation), BFS reachability, and reverse-reachable set sketches.
+"""
+
+from .linear_threshold import (
+    estimate_influence_lt,
+    sample_lt_live_edges,
+    simulate_lt_once,
+    validate_lt_weights,
+)
+from .live_edge import (
+    live_edge_csr_from_mask,
+    sample_live_edge_csr,
+    sample_live_edge_mask,
+    sample_live_edge_store,
+)
+from .reachability import gather_ranges, reachable_mask, reachable_weight
+from .rr_sets import CoverageInstance, RRSampler
+from .simulator import SimulationStats, estimate_influence, simulate_ic, simulate_ic_once
+
+__all__ = [
+    "estimate_influence_lt",
+    "sample_lt_live_edges",
+    "simulate_lt_once",
+    "validate_lt_weights",
+    "sample_live_edge_mask",
+    "sample_live_edge_csr",
+    "live_edge_csr_from_mask",
+    "sample_live_edge_store",
+    "reachable_mask",
+    "reachable_weight",
+    "gather_ranges",
+    "simulate_ic_once",
+    "simulate_ic",
+    "estimate_influence",
+    "SimulationStats",
+    "RRSampler",
+    "CoverageInstance",
+]

@@ -1,0 +1,76 @@
+"""Sampling live-edge graphs from the IC edge distribution ``D_G``.
+
+Under the random-graph interpretation of the IC model (Kempe et al.,
+Section 3.1), a diffusion outcome corresponds to a *live-edge graph*: each
+edge ``e`` is kept independently with probability ``p_e``.  The r-robust SCC
+construction samples ``r`` such graphs; this module provides the in-memory
+vectorised sampler used by Algorithm 1 and the streaming disk sampler used by
+Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.influence_graph import InfluenceGraph
+from ..rng import ensure_rng
+from ..storage.triplet_store import DEFAULT_CHUNK_EDGES, PairStore, TripletStore
+
+__all__ = [
+    "sample_live_edge_mask",
+    "sample_live_edge_csr",
+    "sample_live_edge_store",
+]
+
+
+def sample_live_edge_mask(
+    graph: InfluenceGraph, rng: "int | np.random.Generator | None" = None
+) -> np.ndarray:
+    """A boolean keep-mask over the graph's edges, one Bernoulli per edge."""
+    rng = ensure_rng(rng)
+    return rng.random(graph.m) < graph.probs
+
+
+def sample_live_edge_csr(
+    graph: InfluenceGraph, rng: "int | np.random.Generator | None" = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample a live-edge graph and return it as a ``(indptr, heads)`` CSR.
+
+    Because the parent edge arrays are already in CSR order, the kept edges
+    remain sorted and the new ``indptr`` is a cumulative count of kept edges
+    per tail — no re-sort needed.
+    """
+    keep = sample_live_edge_mask(graph, rng)
+    return live_edge_csr_from_mask(graph, keep)
+
+
+def live_edge_csr_from_mask(
+    graph: InfluenceGraph, keep: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialise the CSR of the subgraph selected by an edge mask."""
+    tails = graph.tails()
+    counts = np.bincount(tails[keep], minlength=graph.n)
+    indptr = np.zeros(graph.n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, graph.heads[keep]
+
+
+def sample_live_edge_store(
+    source: TripletStore,
+    dest_path: str,
+    rng: "int | np.random.Generator | None" = None,
+    chunk_edges: int = DEFAULT_CHUNK_EDGES,
+) -> PairStore:
+    """Stream-sample a live-edge graph from a disk-resident influence graph.
+
+    Implements lines 3–4 of Algorithm 2: read each triplet ``<u, v, p>``
+    sequentially and write ``(u, v)`` to the destination store with
+    probability ``p``, holding only one chunk in memory.
+    """
+    rng = ensure_rng(rng)
+    dest = PairStore.create(dest_path, source.n)
+    for tails, heads, probs in source.iter_chunks(chunk_edges):
+        keep = rng.random(probs.size) < probs
+        if keep.any():
+            dest.append(tails[keep], heads[keep])
+    return dest

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library is a subclass of :class:`ReproError`, so
+callers can catch a single type at the API boundary.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphFormatError(ReproError):
+    """An input graph (file or arrays) is malformed."""
+
+
+class PartitionError(ReproError):
+    """A vertex partition is inconsistent with the graph it describes."""
+
+
+class CoarseningError(ReproError):
+    """Coarsening preconditions were violated (e.g. non-SC component)."""
+
+
+class BudgetExceededError(ReproError):
+    """A configured resource budget (memory, simulations) was exceeded.
+
+    The benchmark harness uses this to reproduce the paper's "OOM" rows
+    without actually exhausting machine memory.
+    """
+
+
+class AlgorithmError(ReproError):
+    """An influence-analysis algorithm received invalid parameters."""

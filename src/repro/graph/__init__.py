@@ -1,0 +1,13 @@
+"""Graph substrate: CSR influence graphs, builders, and I/O."""
+
+from .builder import GraphBuilder, combine_parallel_edges
+from .influence_graph import InfluenceGraph
+from .io import read_edge_list, write_edge_list
+
+__all__ = [
+    "InfluenceGraph",
+    "GraphBuilder",
+    "combine_parallel_edges",
+    "read_edge_list",
+    "write_edge_list",
+]

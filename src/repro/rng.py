@@ -1,0 +1,40 @@
+"""Randomness helpers.
+
+All stochastic entry points in the library accept either a seed or a
+:class:`numpy.random.Generator`.  :func:`ensure_rng` normalises both forms so
+internal code always works with a ``Generator``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh unseeded generator), an integer seed, or an existing
+        generator (returned unchanged, so a caller can thread one generator
+        through a pipeline for full determinism).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rngs(rng: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used by the parallel implementation (Algorithm 6) so every worker has an
+    independent, reproducible stream.
+    """
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

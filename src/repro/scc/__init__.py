@@ -1,0 +1,65 @@
+"""Strongly-connected-component algorithms.
+
+Three independent implementations with one dispatch point:
+
+* ``"tarjan"`` — iterative Tarjan, the default in-memory routine;
+* ``"kosaraju"`` — two-pass Kosaraju, an independent cross-check;
+* ``"scipy"`` — optional acceleration via :mod:`scipy.sparse.csgraph` when
+  scipy is installed (results are label-equivalent; tests verify this).
+
+The semi-external streaming algorithm lives in
+:mod:`repro.scc.semi_external` and is dispatched separately because it
+operates on disk stores, not CSR arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AlgorithmError
+from .kosaraju import kosaraju_scc_labels
+from .semi_external import SemiExternalStats, semi_external_scc_labels
+from .tarjan import tarjan_scc_labels
+
+__all__ = [
+    "scc_labels",
+    "tarjan_scc_labels",
+    "kosaraju_scc_labels",
+    "semi_external_scc_labels",
+    "SemiExternalStats",
+    "SCC_BACKENDS",
+]
+
+SCC_BACKENDS = ("tarjan", "kosaraju", "scipy")
+
+
+def _scipy_scc_labels(indptr: np.ndarray, heads: np.ndarray) -> np.ndarray:
+    from scipy.sparse import csr_array
+    from scipy.sparse.csgraph import connected_components
+
+    n = indptr.size - 1
+    data = np.ones(heads.size, dtype=np.int8)
+    matrix = csr_array((data, heads, indptr), shape=(n, n))
+    _, labels = connected_components(matrix, directed=True, connection="strong")
+    return labels.astype(np.int64)
+
+
+def scc_labels(
+    indptr: np.ndarray, heads: np.ndarray, backend: str = "tarjan"
+) -> np.ndarray:
+    """Label every vertex of a CSR digraph with its SCC id.
+
+    ``backend`` selects the implementation (see module docstring).  Labels
+    differ between backends only by renaming; canonicalise with
+    :meth:`repro.partition.Partition.canonical` before comparing.
+    """
+    if backend == "tarjan":
+        return tarjan_scc_labels(indptr, heads)
+    if backend == "kosaraju":
+        return kosaraju_scc_labels(indptr, heads)
+    if backend == "scipy":
+        try:
+            return _scipy_scc_labels(indptr, heads)
+        except ImportError as exc:
+            raise AlgorithmError("scipy backend requested but scipy missing") from exc
+    raise AlgorithmError(f"unknown SCC backend {backend!r}; choose from {SCC_BACKENDS}")

@@ -1,0 +1,5 @@
+"""On-disk edge stores used by the sublinear-space implementation."""
+
+from .triplet_store import DEFAULT_CHUNK_EDGES, PairStore, TripletStore
+
+__all__ = ["TripletStore", "PairStore", "DEFAULT_CHUNK_EDGES"]

@@ -1,0 +1,179 @@
+"""Binary on-disk edge stores for the sublinear-space implementation.
+
+Algorithm 2 assumes the input influence graph lives on disk as a sequence of
+triplets ``<u, v, p_uv>`` that can only be scanned sequentially, and it writes
+intermediate random graphs and the coarsened output back to disk.  This module
+provides that substrate:
+
+* :class:`TripletStore` — a file of ``(int64 u, int64 v, float64 p)`` records
+  with a small header, read and written in fixed-size chunks so that resident
+  memory stays O(chunk), never O(m).
+* :class:`PairStore` — the same without the probability column, used for the
+  sampled live-edge graphs ``D_{G_i}``.
+
+Both stores support append-only writing followed by sequential chunked
+reading, which is exactly the access pattern the paper's cost model charges
+for.  Read/write byte counts are tracked so benchmarks can report I/O cost.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+__all__ = ["TripletStore", "PairStore", "DEFAULT_CHUNK_EDGES"]
+
+_MAGIC = b"RPRO"
+_VERSION = 1
+_HEADER = struct.Struct("<4sHHqq")  # magic, version, has_probs, n, m
+
+DEFAULT_CHUNK_EDGES = 1 << 16
+"""Default number of edges per streamed chunk (1 MiB-ish of triplets)."""
+
+
+class _EdgeStoreBase:
+    """Shared machinery for :class:`TripletStore` and :class:`PairStore`."""
+
+    _has_probs: bool
+
+    def __init__(self, path: "str | os.PathLike[str]", n: int, m: int) -> None:
+        self.path = os.fspath(path)
+        self.n = int(n)
+        self.m = int(m)
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- writing -------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: "str | os.PathLike[str]", n: int) -> "_EdgeStoreBase":
+        """Create an empty store for an ``n``-vertex graph, ready to append."""
+        store = cls(path, n, 0)
+        with open(store.path, "wb") as handle:
+            handle.write(store._header_bytes())
+        return store
+
+    def _header_bytes(self) -> bytes:
+        return _HEADER.pack(_MAGIC, _VERSION, int(self._has_probs), self.n, self.m)
+
+    def _record_dtype(self) -> np.dtype:
+        fields = [("u", "<i8"), ("v", "<i8")]
+        if self._has_probs:
+            fields.append(("p", "<f8"))
+        return np.dtype(fields)
+
+    def append(self, tails: np.ndarray, heads: np.ndarray, probs: np.ndarray | None = None) -> None:
+        """Append a chunk of edges to the end of the store."""
+        tails = np.asarray(tails, dtype=np.int64)
+        heads = np.asarray(heads, dtype=np.int64)
+        records = np.empty(tails.size, dtype=self._record_dtype())
+        records["u"] = tails
+        records["v"] = heads
+        if self._has_probs:
+            if probs is None:
+                raise GraphFormatError("this store requires a probability column")
+            records["p"] = np.asarray(probs, dtype=np.float64)
+        payload = records.tobytes()
+        with open(self.path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            handle.write(payload)
+            self.m += tails.size
+            handle.seek(0)
+            handle.write(self._header_bytes())
+        self.bytes_written += len(payload)
+
+    # -- reading -------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: "str | os.PathLike[str]") -> "_EdgeStoreBase":
+        """Open an existing store and parse its header."""
+        with open(path, "rb") as handle:
+            raw = handle.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise GraphFormatError(f"{path}: truncated header")
+        magic, version, has_probs, n, m = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise GraphFormatError(f"{path}: not a repro edge store")
+        if version != _VERSION:
+            raise GraphFormatError(f"{path}: unsupported version {version}")
+        if bool(has_probs) != cls._has_probs:
+            raise GraphFormatError(
+                f"{path}: store probability layout does not match {cls.__name__}"
+            )
+        return cls(path, n, m)
+
+    def iter_chunks(self, chunk_edges: int = DEFAULT_CHUNK_EDGES):
+        """Yield edge chunks sequentially.
+
+        For :class:`TripletStore` each chunk is ``(tails, heads, probs)``;
+        for :class:`PairStore` it is ``(tails, heads)``.  Only one chunk is
+        resident at a time.
+        """
+        dtype = self._record_dtype()
+        with open(self.path, "rb") as handle:
+            handle.seek(_HEADER.size)
+            while True:
+                raw = handle.read(chunk_edges * dtype.itemsize)
+                if not raw:
+                    break
+                if len(raw) % dtype.itemsize:
+                    raise GraphFormatError(
+                        f"{self.path}: truncated edge record "
+                        f"(file damaged mid-write?)"
+                    )
+                self.bytes_read += len(raw)
+                records = np.frombuffer(raw, dtype=dtype)
+                if self._has_probs:
+                    yield records["u"], records["v"], records["p"]
+                else:
+                    yield records["u"], records["v"]
+
+    def read_all(self) -> tuple[np.ndarray, ...]:
+        """Materialise the whole store (tests and small graphs only)."""
+        chunks = list(self.iter_chunks())
+        width = 3 if self._has_probs else 2
+        if not chunks:
+            empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+            return empty + ((np.empty(0, dtype=np.float64),) if width == 3 else ())
+        return tuple(np.concatenate([c[i] for c in chunks]) for i in range(width))
+
+    def delete(self) -> None:
+        """Remove the backing file (ignore if already gone)."""
+        try:
+            os.remove(self.path)
+        except FileNotFoundError:
+            pass
+
+
+class TripletStore(_EdgeStoreBase):
+    """On-disk ``<u, v, p>`` store — the disk image of an influence graph."""
+
+    _has_probs = True
+
+    @classmethod
+    def from_graph(cls, graph, path: "str | os.PathLike[str]",
+                   chunk_edges: int = DEFAULT_CHUNK_EDGES) -> "TripletStore":
+        """Spill an in-memory :class:`InfluenceGraph` to disk."""
+        store = cls.create(path, graph.n)
+        tails, heads, probs = graph.edge_arrays()
+        for lo in range(0, graph.m, chunk_edges):
+            hi = min(lo + chunk_edges, graph.m)
+            store.append(tails[lo:hi], heads[lo:hi], probs[lo:hi])
+        return store
+
+    def to_graph(self):
+        """Load the store into an in-memory graph (tests and small inputs)."""
+        from ..graph.influence_graph import InfluenceGraph
+
+        tails, heads, probs = self.read_all()
+        return InfluenceGraph.from_edges(self.n, tails, heads, probs)
+
+
+class PairStore(_EdgeStoreBase):
+    """On-disk ``<u, v>`` store — the disk image of a sampled live-edge graph."""
+
+    _has_probs = False

@@ -1,0 +1,167 @@
+"""Tests for the influence-maximization algorithms.
+
+Quality checks use planted instances where the best seed is unambiguous,
+plus cross-algorithm agreement on small graphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    CELFMaximizer,
+    DegreeHeuristic,
+    DSSAMaximizer,
+    GreedyMaximizer,
+    IMMMaximizer,
+    MonteCarloEstimator,
+    RISMaximizer,
+    SSAMaximizer,
+)
+from repro.analysis import exact_influence
+from repro.errors import AlgorithmError
+from repro.graph import GraphBuilder, InfluenceGraph
+
+from .conftest import build_graph
+
+
+def star_graph(hub: int = 0, leaves: int = 8, p: float = 0.9) -> InfluenceGraph:
+    """A hub with strong out-edges — the hub is the unambiguous best seed."""
+    builder = GraphBuilder(n=leaves + 1)
+    for leaf in range(1, leaves + 1):
+        builder.add_edge(hub, leaf, p)
+    return builder.build()
+
+
+class _ExactEstimator:
+    def estimate(self, graph, seeds):
+        return exact_influence(graph, seeds)
+
+
+SKETCH_MAXIMIZERS = [
+    lambda: RISMaximizer(n_sets=3_000, rng=0),
+    lambda: IMMMaximizer(eps=0.3, rng=0, max_sets=30_000),
+    lambda: SSAMaximizer(eps=0.2, delta=0.1, rng=0, max_sets=60_000),
+    lambda: DSSAMaximizer(eps=0.2, delta=0.1, rng=0, max_sets=60_000),
+]
+
+
+class TestPlantedInstances:
+    @pytest.mark.parametrize("make", SKETCH_MAXIMIZERS)
+    def test_hub_found_on_star(self, make):
+        g = star_graph()
+        result = make().select(g, 1)
+        assert result.seeds.tolist() == [0]
+        # exact influence of the hub is 1 + 8 * 0.9 = 8.2
+        assert result.estimated_influence == pytest.approx(8.2, rel=0.15)
+
+    @pytest.mark.parametrize("make", SKETCH_MAXIMIZERS)
+    def test_two_hubs_found(self, make):
+        builder = GraphBuilder(n=20)
+        for hub, leaves in ((0, range(2, 10)), (1, range(10, 18))):
+            for leaf in leaves:
+                builder.add_edge(hub, leaf, 0.9)
+        builder.add_edge(18, 19, 0.1)
+        g = builder.build()
+        result = make().select(g, 2)
+        assert sorted(result.seeds.tolist()) == [0, 1]
+
+    def test_degree_heuristic_finds_hub(self):
+        result = DegreeHeuristic().select(star_graph(), 1)
+        assert result.seeds.tolist() == [0]
+        assert result.estimated_influence == pytest.approx(1 + 8 * 0.9)
+
+
+class TestGreedyAndCELF:
+    def test_greedy_matches_exhaustive_reference(self, paper_graph):
+        result = GreedyMaximizer(_ExactEstimator()).select(paper_graph, 2)
+        # brute-force the optimum for k=2
+        best_val = -1.0
+        for a in range(9):
+            for b in range(a + 1, 9):
+                val = exact_influence(paper_graph, np.array([a, b]))
+                best_val = max(best_val, val)
+        # greedy is (1 - 1/e)-approx; on this graph it is near-exact
+        assert result.estimated_influence >= 0.9 * best_val
+
+    def test_celf_equals_greedy_with_deterministic_oracle(self, paper_graph):
+        greedy = GreedyMaximizer(_ExactEstimator()).select(paper_graph, 3)
+        celf = CELFMaximizer(_ExactEstimator()).select(paper_graph, 3)
+        assert greedy.estimated_influence == pytest.approx(
+            celf.estimated_influence
+        )
+        assert set(greedy.seeds.tolist()) == set(celf.seeds.tolist())
+
+    def test_celf_uses_fewer_evaluations(self, paper_graph):
+        greedy = GreedyMaximizer(_ExactEstimator()).select(paper_graph, 3)
+        celf = CELFMaximizer(_ExactEstimator()).select(paper_graph, 3)
+        assert celf.extras["evaluations"] < greedy.extras["evaluations"]
+
+    def test_sketch_quality_close_to_greedy(self, paper_graph):
+        greedy = GreedyMaximizer(_ExactEstimator()).select(paper_graph, 2)
+        for make in SKETCH_MAXIMIZERS:
+            seeds = make().select(paper_graph, 2).seeds
+            val = exact_influence(paper_graph, seeds)
+            assert val >= 0.8 * greedy.estimated_influence
+
+
+class TestParameterValidation:
+    def test_k_bounds(self):
+        g = star_graph()
+        for maximizer in (
+            DegreeHeuristic(),
+            RISMaximizer(n_sets=10, rng=0),
+            GreedyMaximizer(_ExactEstimator()),
+            CELFMaximizer(_ExactEstimator()),
+            IMMMaximizer(rng=0),
+            SSAMaximizer(rng=0),
+            DSSAMaximizer(rng=0),
+        ):
+            with pytest.raises(AlgorithmError):
+                maximizer.select(g, 0)
+            with pytest.raises(AlgorithmError):
+                maximizer.select(g, g.n + 1)
+
+    def test_ris_rejects_bad_budget(self):
+        with pytest.raises(AlgorithmError):
+            RISMaximizer(n_sets=0)
+
+    def test_imm_rejects_bad_eps(self):
+        with pytest.raises(AlgorithmError):
+            IMMMaximizer(eps=0.0)
+
+    def test_stop_and_stare_rejects_bad_eps(self):
+        with pytest.raises(AlgorithmError):
+            DSSAMaximizer(eps=0.9)  # above 1 - 2/e
+
+    def test_stop_and_stare_rejects_bad_delta(self):
+        with pytest.raises(AlgorithmError):
+            SSAMaximizer(delta=0.0)
+
+
+class TestStopAndStareBehaviour:
+    def test_dssa_reuses_validation_sets(self):
+        g = star_graph(leaves=12, p=0.5)
+        dssa = DSSAMaximizer(eps=0.25, delta=0.1, rng=0)
+        ssa = SSAMaximizer(eps=0.25, delta=0.1, rng=0)
+        r1 = dssa.select(g, 1)
+        r2 = ssa.select(g, 1)
+        assert r1.seeds.tolist() == r2.seeds.tolist() == [0]
+        assert r1.extras["rr_sets"] > 0
+        assert r2.extras["rr_sets"] > 0
+
+    def test_memory_budget_enforced(self):
+        from repro.errors import BudgetExceededError
+
+        g = star_graph(leaves=12, p=0.5)
+        ssa = SSAMaximizer(eps=0.05, delta=0.01, rng=0, memory_budget_sets=8)
+        with pytest.raises(BudgetExceededError):
+            ssa.select(g, 1)
+
+    def test_works_on_weighted_graphs(self, two_cliques_graph):
+        from repro.core import coarsen_influence_graph
+
+        coarse = coarsen_influence_graph(two_cliques_graph, r=4, rng=0).coarse
+        assert coarse.is_weighted
+        result = DSSAMaximizer(eps=0.25, delta=0.1, rng=1).select(coarse, 1)
+        # upstream clique (which reaches everything) must win
+        assert coarse.weights[result.seeds[0]] == 4

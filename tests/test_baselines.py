@@ -1,0 +1,105 @@
+"""Tests for the COARSENET and SPINE baseline reimplementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Cascade, coarsenet, generate_cascades, spine
+from repro.errors import AlgorithmError
+
+from .conftest import build_graph, random_graph
+
+
+class TestCoarsenet:
+    def test_reaches_target_ratio(self):
+        g = random_graph(60, 300, seed=0, p_low=0.1, p_high=0.6)
+        res = coarsenet(g, target_edge_ratio=0.5)
+        assert res.stats.edge_reduction_ratio <= 0.55
+        assert res.coarse.n < g.n
+
+    def test_weight_conservation(self):
+        g = random_graph(40, 200, seed=1)
+        res = coarsenet(g, target_edge_ratio=0.4)
+        assert res.coarse.total_weight == g.n
+
+    def test_pi_consistent_with_partition(self):
+        g = random_graph(40, 200, seed=2)
+        res = coarsenet(g, target_edge_ratio=0.5)
+        assert np.array_equal(res.pi, res.partition.labels)
+        assert res.pi.max() + 1 == res.coarse.n
+
+    def test_ratio_one_is_identity(self, paper_graph):
+        res = coarsenet(paper_graph, target_edge_ratio=1.0)
+        assert res.coarse.m == paper_graph.m
+        assert res.coarse.n == paper_graph.n
+
+    def test_rejects_bad_ratio(self, paper_graph):
+        with pytest.raises(AlgorithmError):
+            coarsenet(paper_graph, target_edge_ratio=0.0)
+
+    def test_handles_dag(self):
+        # power iteration degenerates on DAGs (eigenvalue 0); must not crash
+        g = build_graph(5, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5), (3, 4, 0.5)])
+        res = coarsenet(g, target_edge_ratio=0.5)
+        assert res.coarse.m <= 2
+
+
+class TestCascades:
+    def test_cascade_steps_contiguous(self):
+        g = random_graph(30, 120, seed=3, p_low=0.3, p_high=0.9)
+        cascades = generate_cascades(g, 20, rng=0)
+        assert len(cascades) == 20
+        for c in cascades:
+            steps = c.steps[c.steps >= 0]
+            assert steps.min() == 0
+            # activation steps form a contiguous range
+            assert set(steps.tolist()) == set(range(steps.max() + 1))
+
+    def test_single_seed_per_cascade(self):
+        g = random_graph(20, 60, seed=4)
+        for c in generate_cascades(g, 10, rng=1):
+            assert int((c.steps == 0).sum()) == 1
+
+
+class TestSpine:
+    def _setup(self, seed=0):
+        g = random_graph(25, 100, seed=seed, p_low=0.3, p_high=0.9)
+        cascades = generate_cascades(g, 30, rng=seed)
+        return g, cascades
+
+    def test_respects_budget(self):
+        g, cascades = self._setup()
+        sparse, stats = spine(g, 40, cascades)
+        assert sparse.m <= 40
+        assert stats["kept_edges"] == sparse.m
+
+    def test_kept_edges_subset_of_original(self):
+        g, cascades = self._setup(1)
+        sparse, _ = spine(g, 30, cascades)
+        original = set(zip(*g.edge_arrays()[:2]))
+        assert set(zip(*sparse.edge_arrays()[:2])) <= original
+
+    def test_phase1_covers_events_when_budget_allows(self):
+        g, cascades = self._setup(2)
+        sparse, stats = spine(g, g.m, cascades)
+        assert stats["uncovered_events"] == 0
+
+    def test_likelihood_greedy_prefers_explanatory_edges(self):
+        """An edge that explains observed propagation beats one that never
+        fires in any cascade."""
+        g = build_graph(4, [(0, 1, 0.9), (2, 3, 0.9)])
+        # one cascade where 0 activated 1; vertices 2, 3 never active
+        cascade = Cascade(steps=np.array([0, 1, -1, -1]))
+        sparse, _ = spine(g, 1, [cascade])
+        assert set(zip(*sparse.edge_arrays()[:2])) == {(0, 1)}
+
+    def test_rejects_bad_budget(self):
+        g, cascades = self._setup(3)
+        with pytest.raises(AlgorithmError):
+            spine(g, 0, cascades)
+
+    def test_empty_cascades_pick_nothing_meaningful(self):
+        g, _ = self._setup(4)
+        sparse, stats = spine(g, 10, [])
+        # no events => nothing to explain => early stop with no edges
+        assert stats["events"] == 0
+        assert sparse.m == 0

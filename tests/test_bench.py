@@ -1,0 +1,136 @@
+"""Tests for the benchmark harness (measurement, budgets, rendering)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    Budget,
+    format_seconds,
+    measure,
+    render_series,
+    render_table,
+    run_budgeted,
+    save_json,
+)
+
+
+class TestMeasure:
+    def test_measures_result_and_time(self):
+        run = measure(lambda: sum(range(1000)))
+        assert run.result == 499500
+        assert run.seconds >= 0
+        assert run.peak_bytes >= 0
+
+    def test_captures_allocation_peak(self):
+        def alloc():
+            return np.zeros(1_000_000)  # 8 MB
+
+        run = measure(alloc)
+        assert run.peak_mb > 7
+
+    def test_exception_stops_tracing_cleanly(self):
+        with pytest.raises(ValueError):
+            measure(lambda: (_ for _ in ()).throw(ValueError("boom")))
+        # a subsequent measure still works
+        assert measure(lambda: 1).result == 1
+
+
+class TestBudgets:
+    def test_ok_run(self):
+        out = run_budgeted(lambda: 42, Budget(max_bytes=1 << 30))
+        assert out.ok
+        assert out.run.result == 42
+
+    def test_skip_on_estimated_oom(self):
+        out = run_budgeted(
+            lambda: pytest.fail("must not run"),
+            Budget(max_bytes=100),
+            estimated_bytes=1_000,
+        )
+        assert out.status == "skipped-oom"
+        assert out.time_cell() == "OOM"
+        assert out.memory_cell() == "OOM"
+
+    def test_skip_on_estimated_timeout(self):
+        out = run_budgeted(
+            lambda: pytest.fail("must not run"),
+            Budget(max_seconds=1.0),
+            estimated_seconds=100.0,
+        )
+        assert out.status == "skipped-timeout"
+        assert out.time_cell() == "TIMEOUT"
+
+    def test_post_hoc_oom(self):
+        out = run_budgeted(lambda: np.zeros(1_000_000), Budget(max_bytes=1000))
+        assert out.status == "oom"
+
+    def test_no_budget_always_ok(self):
+        assert run_budgeted(lambda: "x").ok
+
+    def test_track_memory_off(self):
+        out = run_budgeted(lambda: 7, track_memory=False)
+        assert out.ok
+        assert out.run.peak_bytes == 0
+
+
+class TestRendering:
+    def test_format_seconds(self):
+        assert format_seconds(0.0123) == "12.3 ms"
+        assert format_seconds(2.5) == "2.50 s"
+        assert format_seconds(1262.3) == "1,262.30 s"
+
+    def test_render_table_alignment(self):
+        text = render_table(
+            "Table X", ["dataset", "time"], [["a", "1 s"], ["bbbb", "20 s"]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table X"
+        assert "dataset" in lines[2]
+        assert len(lines) == 6
+
+    def test_render_series(self):
+        text = render_series(
+            "Figure Y", "r", [1, 2], {"time": [0.1, 0.2], "mem": [5, 6]}
+        )
+        assert "Figure Y" in text
+        assert "time" in text and "mem" in text
+
+    def test_save_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "out" / "data.json"
+        save_json({"a": 1, "arr": [1, 2]}, str(path))
+        assert json.loads(path.read_text()) == {"a": 1, "arr": [1, 2]}
+
+
+class TestAsciiPlot:
+    def test_renders_title_axes_and_legend(self):
+        from repro.bench import ascii_plot
+
+        text = ascii_plot(
+            [1, 2, 4, 8], {"lin": [1, 2, 4, 8], "const": [3, 3, 3, 3]},
+            title="demo", log_x=True,
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "o lin" in lines[-1]
+        assert "x const" in lines[-1]
+        assert "|" in lines[1]
+
+    def test_marker_positions_monotone_series(self):
+        from repro.bench import ascii_plot
+
+        text = ascii_plot([0, 1, 2], {"s": [0.0, 1.0, 2.0]}, width=30,
+                          height=9)
+        rows = [l for l in text.splitlines() if "|" in l]
+        cols = [row.index("o") for row in rows if "o" in row]
+        # text rows run top (y_max) to bottom (y_min), so an increasing
+        # series appears right-to-left going down
+        assert cols == sorted(cols, reverse=True)
+
+    def test_degenerate_inputs(self):
+        from repro.bench import ascii_plot
+
+        assert ascii_plot([], {}, title="t") == "t"
+        flat = ascii_plot([1, 2], {"s": [5.0, 5.0]})
+        assert "o" in flat

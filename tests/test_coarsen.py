@@ -1,0 +1,111 @@
+"""Tests for the coarsening contraction (Definition 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import coarsen, check_partition_strongly_connected
+from repro.errors import CoarseningError
+from repro.graph import InfluenceGraph
+from repro.partition import Partition
+
+from .conftest import build_graph, random_graph
+
+
+class TestPaperExample:
+    """Example 4.2 / Figures 1-2, verbatim."""
+
+    def test_structure(self, paper_graph, paper_partition_blocks):
+        partition = Partition.from_blocks(paper_partition_blocks, 9)
+        coarse, pi = coarsen(paper_graph, partition, validate=True)
+        assert coarse.n == 5
+        assert coarse.weights.tolist() == [3, 1, 2, 1, 2]
+        assert pi.tolist() == [0, 0, 0, 1, 2, 2, 3, 4, 4]
+
+    def test_edge_probabilities(self, paper_graph, paper_partition_blocks):
+        partition = Partition.from_blocks(paper_partition_blocks, 9)
+        coarse, _ = coarsen(paper_graph, partition)
+        q = {(u, v): p for u, v, p in zip(*coarse.edge_arrays())}
+        # q(c1, c2) = 1 - (1 - 0.3)(1 - 0.2) = 0.44 (the paper's example)
+        assert q[(0, 1)] == pytest.approx(0.44)
+        assert q[(1, 2)] == pytest.approx(0.4)   # single edge v4 -> v5
+        assert q[(2, 3)] == pytest.approx(0.3)   # v6 -> v7
+        assert q[(3, 4)] == pytest.approx(0.2)   # v7 -> v8
+        assert len(q) == 4  # no intra-component edges survive
+
+    def test_no_self_loops_in_coarse_graph(self, paper_graph, paper_partition_blocks):
+        partition = Partition.from_blocks(paper_partition_blocks, 9)
+        coarse, pi = coarsen(paper_graph, partition)
+        tails, heads, _ = coarse.edge_arrays()
+        assert (tails != heads).all()
+
+
+class TestInvariants:
+    def test_singleton_partition_is_identity(self, paper_graph):
+        coarse, pi = coarsen(paper_graph, Partition.singletons(9))
+        assert coarse.n == paper_graph.n
+        assert coarse.m == paper_graph.m
+        assert np.allclose(coarse.probs, paper_graph.probs)
+        assert pi.tolist() == list(range(9))
+
+    def test_total_weight_conserved(self):
+        for seed in range(5):
+            g = random_graph(25, 70, seed=seed)
+            # coarsen by each live-edge sample's SCC partition
+            from repro.core import robust_scc_partition
+            partition = robust_scc_partition(g, 2, rng=seed)
+            coarse, _ = coarsen(g, partition)
+            assert coarse.total_weight == g.n
+
+    def test_weighted_input_composes(self, two_cliques_graph):
+        partition = Partition.from_blocks([[0, 1, 2, 3], [4], [5], [6], [7]], 8)
+        coarse1, pi1 = coarsen(two_cliques_graph, partition, validate=True)
+        partition2 = Partition.from_blocks(
+            [[0], [1, 2, 3, 4]], coarse1.n
+        )
+        coarse2, pi2 = coarsen(coarse1, partition2, validate=True)
+        assert coarse2.total_weight == 8
+        assert coarse2.weights.tolist() == [4, 4]
+
+    def test_coarse_q_matches_noisy_or_brute_force(self):
+        g = random_graph(12, 40, seed=3)
+        labels = np.arange(12) // 3  # blocks of 3 (not SC; validate off)
+        partition = Partition(labels)
+        coarse, pi = coarsen(g, partition)
+        tails, heads, probs = g.edge_arrays()
+        expected: dict[tuple[int, int], float] = {}
+        for u, v, p in zip(tails, heads, probs):
+            cu, cv = int(pi[u]), int(pi[v])
+            if cu != cv:
+                expected[(cu, cv)] = expected.get((cu, cv), 1.0) * (1.0 - p)
+        got = {(int(u), int(v)): p for u, v, p in zip(*coarse.edge_arrays())}
+        assert set(got) == set(expected)
+        for key in got:
+            assert got[key] == pytest.approx(1.0 - expected[key])
+
+    def test_pi_is_partition_labels(self, paper_graph, paper_partition_blocks):
+        partition = Partition.from_blocks(paper_partition_blocks, 9)
+        _, pi = coarsen(paper_graph, partition)
+        assert np.array_equal(pi, partition.labels)
+
+
+class TestValidation:
+    def test_rejects_wrong_partition_size(self, paper_graph):
+        with pytest.raises(CoarseningError):
+            coarsen(paper_graph, Partition.trivial(5))
+
+    def test_validate_rejects_non_sc_block(self, paper_graph):
+        # {3, 6} are not even adjacent, let alone strongly connected.
+        partition = Partition.from_blocks(
+            [[0], [1], [2], [3, 6], [4], [5], [7], [8]], 9
+        )
+        with pytest.raises(CoarseningError, match="strongly connected"):
+            coarsen(paper_graph, partition, validate=True)
+
+    def test_validate_accepts_sc_blocks(self, paper_graph, paper_partition_blocks):
+        partition = Partition.from_blocks(paper_partition_blocks, 9)
+        check_partition_strongly_connected(paper_graph, partition)
+
+    def test_validate_rejects_one_directional_pair(self):
+        g = build_graph(2, [(0, 1, 0.5)])
+        with pytest.raises(CoarseningError):
+            check_partition_strongly_connected(g, Partition.trivial(2))

@@ -1,0 +1,188 @@
+"""Tests for the dataset registry, generators and probability settings."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    apply_setting,
+    assign_exponential,
+    assign_trivalency,
+    assign_uniform,
+    assign_weighted_cascade,
+    collaboration_graph,
+    core_fringe_graph,
+    list_datasets,
+    load_dataset,
+    powerlaw_social_graph,
+    rmat_graph,
+    web_graph,
+)
+from repro.errors import AlgorithmError
+from repro.scc import scc_labels
+
+from .conftest import build_graph
+
+
+class TestProbabilitySettings:
+    def test_uniform(self, paper_graph):
+        g = assign_uniform(paper_graph, 0.25)
+        assert (g.probs == 0.25).all()
+
+    def test_uniform_rejects_bad_p(self, paper_graph):
+        with pytest.raises(AlgorithmError):
+            assign_uniform(paper_graph, 0.0)
+
+    def test_trivalency_values(self, paper_graph):
+        g = assign_trivalency(paper_graph, rng=0)
+        assert set(np.round(g.probs, 6).tolist()) <= {0.1, 0.01, 0.001}
+
+    def test_exponential_range_and_mean(self):
+        g = build_graph(2, [(0, 1, 0.5)])
+        big = powerlaw_social_graph(500, out_degree=4, rng=0)
+        e = assign_exponential(big, rng=0, mean=0.1)
+        assert (e.probs > 0).all() and (e.probs <= 1).all()
+        assert e.probs.mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_weighted_cascade(self, paper_graph):
+        g = assign_weighted_cascade(paper_graph)
+        indeg = paper_graph.in_degree()
+        for u, v, p in zip(*g.edge_arrays()):
+            assert p == pytest.approx(1.0 / indeg[v])
+
+    def test_apply_setting_dispatch(self, paper_graph):
+        for name in ("exp", "tri", "uc", "wc"):
+            g = apply_setting(paper_graph, name, rng=0)
+            assert g.m == paper_graph.m
+        with pytest.raises(AlgorithmError):
+            apply_setting(paper_graph, "bogus")
+
+    def test_settings_preserve_topology(self, paper_graph):
+        g = apply_setting(paper_graph, "exp", rng=0)
+        assert np.array_equal(g.indptr, paper_graph.indptr)
+        assert np.array_equal(g.heads, paper_graph.heads)
+
+
+class TestGenerators:
+    def test_core_fringe_structure(self):
+        g = core_fringe_graph(50, 100, core_out_degree=8, rng=0)
+        assert g.n == 150
+        # deterministic core must be strongly connected (has a cycle)
+        labels = scc_labels(g.indptr, g.heads)
+        assert len(set(labels[:50].tolist())) == 1
+
+    def test_core_fringe_rejects_tiny_core(self):
+        with pytest.raises(AlgorithmError):
+            core_fringe_graph(1, 5, rng=0)
+
+    def test_powerlaw_degree_tail(self):
+        g = powerlaw_social_graph(2_000, out_degree=4, rng=0)
+        indeg = g.in_degree()
+        # preferential attachment: max in-degree far above the mean
+        assert indeg.max() > 10 * indeg.mean()
+
+    def test_powerlaw_rich_club_densifies(self):
+        plain = powerlaw_social_graph(1_000, out_degree=4, rng=0)
+        clubbed = powerlaw_social_graph(
+            1_000, out_degree=4, rich_club_fraction=0.05,
+            rich_club_degree=30, rng=0,
+        )
+        assert clubbed.m > plain.m
+
+    def test_powerlaw_rejects_small_n(self):
+        with pytest.raises(AlgorithmError):
+            powerlaw_social_graph(4, out_degree=8, rng=0)
+
+    def test_rmat_sizes(self):
+        g = rmat_graph(8, edge_factor=4, rng=0)
+        assert g.n == 256
+        assert 0 < g.m <= 4 * 256
+
+    def test_rmat_rejects_bad_quadrants(self):
+        with pytest.raises(AlgorithmError):
+            rmat_graph(4, quadrants=(0.5, 0.5, 0.5, 0.5), rng=0)
+
+    def test_web_graph_portal_core(self):
+        g = web_graph(30, pages_per_host=10, portal_core_size=10,
+                      portal_core_degree=8, rng=0)
+        assert g.n == 300
+        # portal core (front pages of first 10 hosts) strongly connected
+        core = np.arange(10) * 10
+        labels = scc_labels(g.indptr, g.heads)
+        assert len(set(labels[core].tolist())) == 1
+
+    def test_collaboration_graph_is_symmetric(self):
+        g = collaboration_graph(50, rng=0)
+        pairs = set(zip(*g.edge_arrays()[:2]))
+        assert all((v, u) in pairs for (u, v) in pairs)
+
+    def test_generators_deterministic(self):
+        a = powerlaw_social_graph(300, out_degree=3, rng=7)
+        b = powerlaw_social_graph(300, out_degree=3, rng=7)
+        assert a == b
+
+
+class TestRegistry:
+    def test_all_thirteen_paper_datasets_present(self):
+        assert len(DATASETS) == 13
+        assert "ameblo" in DATASETS
+        assert "twitter-2010" in DATASETS
+
+    def test_tier_filters(self):
+        assert set(list_datasets(tier="small")) <= set(list_datasets())
+        small_medium = list_datasets(max_tier="medium")
+        assert "com-orkut" not in small_medium
+        assert "soc-pokec" in small_medium
+
+    def test_load_small_datasets(self):
+        for name in list_datasets(tier="small"):
+            g = load_dataset(name, "exp", seed=0)
+            assert g.n > 100
+            assert g.m > 100
+            assert (g.probs > 0).all() and (g.probs <= 1).all()
+
+    def test_load_deterministic(self):
+        a = load_dataset("soc-slashdot", "tri", seed=3)
+        b = load_dataset("soc-slashdot", "tri", seed=3)
+        assert a == b
+
+    def test_same_topology_across_settings(self):
+        a = load_dataset("wiki-talk", "uc", seed=0)
+        b = load_dataset("wiki-talk", "wc", seed=0)
+        assert np.array_equal(a.heads, b.heads)
+        assert not np.allclose(a.probs, b.probs)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(AlgorithmError, match="unknown dataset"):
+            load_dataset("no-such-graph")
+
+
+class TestCalibration:
+    """The registry's generator parameters are calibrated against Table 3;
+    these tests pin the *qualitative* calibration so a parameter edit that
+    destroys the paper-shape gets caught without running the full bench."""
+
+    def test_dense_core_analogues_reduce_most(self):
+        from repro.core import coarsen_influence_graph
+
+        orkut = load_dataset("com-orkut", "exp", seed=0)
+        slashdot = load_dataset("soc-slashdot", "exp", seed=0)
+        r_orkut = coarsen_influence_graph(orkut, r=16, rng=0)
+        r_slash = coarsen_influence_graph(slashdot, r=16, rng=0)
+        # orkut-class graphs reduce to a few percent of edges; ordinary
+        # social graphs to roughly a third (Table 3's spread)
+        assert r_orkut.stats.edge_reduction_ratio < 0.10
+        assert 0.2 < r_slash.stats.edge_reduction_ratio < 0.5
+
+    def test_wc_setting_defeats_coarsening(self):
+        from repro.core import coarsen_influence_graph
+
+        g = load_dataset("soc-slashdot", "wc", seed=0)
+        res = coarsen_influence_graph(g, r=16, rng=0)
+        assert res.stats.edge_reduction_ratio > 0.95
+
+    def test_undirected_analogues_are_symmetric(self):
+        for name in ("ca-hepph", "com-youtube"):
+            g = load_dataset(name, "uc", seed=0)
+            pairs = set(zip(*g.edge_arrays()[:2]))
+            assert all((v, u) in pairs for (u, v) in pairs), name

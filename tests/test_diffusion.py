@@ -1,0 +1,162 @@
+"""Tests for live-edge sampling, reachability, and the IC simulator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import exact_influence
+from repro.diffusion import (
+    SimulationStats,
+    estimate_influence,
+    gather_ranges,
+    reachable_mask,
+    reachable_weight,
+    sample_live_edge_csr,
+    sample_live_edge_mask,
+    sample_live_edge_store,
+    simulate_ic,
+    simulate_ic_once,
+)
+from repro.errors import AlgorithmError
+from repro.graph import InfluenceGraph
+from repro.storage import PairStore, TripletStore
+
+from .conftest import build_graph, random_graph
+
+
+class TestGatherRanges:
+    def test_simple(self):
+        out = gather_ranges(np.array([0, 5]), np.array([2, 7]))
+        assert out.tolist() == [0, 1, 5, 6]
+
+    def test_with_empty_ranges(self):
+        out = gather_ranges(np.array([0, 3, 3, 8]), np.array([2, 3, 5, 9]))
+        assert out.tolist() == [0, 1, 3, 4, 8]
+
+    def test_all_empty(self):
+        assert gather_ranges(np.array([4]), np.array([4])).size == 0
+
+    def test_no_ranges(self):
+        empty = np.empty(0, dtype=np.int64)
+        assert gather_ranges(empty, empty).size == 0
+
+    def test_random_against_naive(self):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            starts = rng.integers(0, 50, size=10)
+            ends = starts + rng.integers(0, 6, size=10)
+            expected = np.concatenate(
+                [np.arange(s, e) for s, e in zip(starts, ends)]
+            ) if (ends > starts).any() else np.empty(0, dtype=np.int64)
+            assert gather_ranges(starts, ends).tolist() == expected.tolist()
+
+
+class TestReachability:
+    def test_chain(self):
+        g = build_graph(4, [(0, 1, 1.0), (1, 2, 1.0)])
+        mask = reachable_mask(g.indptr, g.heads, np.array([0]))
+        assert mask.tolist() == [True, True, True, False]
+
+    def test_weighted_count(self):
+        g = InfluenceGraph.from_edges(
+            3, np.array([0]), np.array([1]), np.array([1.0]),
+            weights=np.array([5, 3, 7]),
+        )
+        assert reachable_weight(g.indptr, g.heads, np.array([0]), g.weights) == 8.0
+
+    def test_multiple_sources(self):
+        g = build_graph(4, [(0, 1, 1.0), (2, 3, 1.0)])
+        assert reachable_weight(g.indptr, g.heads, np.array([0, 2])) == 4.0
+
+    def test_cycle(self):
+        g = build_graph(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        assert reachable_weight(g.indptr, g.heads, np.array([1])) == 3.0
+
+
+class TestLiveEdgeSampling:
+    def test_probability_one_keeps_everything(self):
+        g = build_graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert sample_live_edge_mask(g, rng=0).all()
+
+    def test_mask_statistics(self):
+        g = build_graph(2, [(0, 1, 0.3)])
+        rng = np.random.default_rng(0)
+        hits = sum(sample_live_edge_mask(g, rng)[0] for _ in range(5000))
+        assert hits / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_csr_consistent_with_mask(self):
+        g = random_graph(20, 60, seed=1)
+        indptr, heads = sample_live_edge_csr(g, rng=5)
+        assert indptr[-1] == heads.size
+        assert heads.size <= g.m
+        # every sampled edge exists in the original graph
+        sampled_tails = np.repeat(np.arange(g.n), np.diff(indptr))
+        original = set(zip(*g.edge_arrays()[:2]))
+        assert set(zip(sampled_tails.tolist(), heads.tolist())) <= original
+
+    def test_store_sampling_matches_in_memory_stream(self, tmp_path):
+        g = random_graph(15, 50, seed=2)
+        src = TripletStore.from_graph(g, tmp_path / "g.trip")
+        dest = sample_live_edge_store(src, str(tmp_path / "s.pairs"), rng=9)
+        indptr, heads = sample_live_edge_csr(g, rng=9)
+        tails_mem = np.repeat(np.arange(g.n), np.diff(indptr))
+        tails_disk, heads_disk = PairStore.open(dest.path).read_all()
+        assert tails_disk.tolist() == tails_mem.tolist()
+        assert heads_disk.tolist() == heads.tolist()
+
+
+class TestSimulator:
+    def test_deterministic_graph_equals_reachability(self):
+        g = build_graph(5, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)])
+        active = simulate_ic_once(g, np.array([0]), rng=0)
+        assert active.tolist() == [True, True, True, False, False]
+
+    def test_seed_always_active(self):
+        g = build_graph(3, [(0, 1, 0.0001)])
+        active = simulate_ic_once(g, np.array([2]), rng=0)
+        assert active[2]
+        assert active.sum() == 1
+
+    def test_rejects_empty_seed_set(self):
+        g = build_graph(2, [(0, 1, 0.5)])
+        with pytest.raises(AlgorithmError):
+            simulate_ic_once(g, np.array([], dtype=np.int64), rng=0)
+
+    def test_rejects_out_of_range_seed(self):
+        g = build_graph(2, [(0, 1, 0.5)])
+        with pytest.raises(AlgorithmError):
+            simulate_ic_once(g, np.array([7]), rng=0)
+
+    def test_stats_counting(self):
+        g = build_graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        stats = SimulationStats()
+        simulate_ic(g, np.array([0]), 10, rng=0, stats=stats)
+        assert stats.simulations == 10
+        assert stats.examined_edges == 20  # both edges examined per run
+        assert stats.activations == 30
+
+    def test_weighted_spread(self):
+        g = InfluenceGraph.from_edges(
+            2, np.array([0]), np.array([1]), np.array([1.0]),
+            weights=np.array([4, 6]),
+        )
+        spreads = simulate_ic(g, np.array([0]), 5, rng=0)
+        assert (spreads == 10.0).all()
+
+    def test_estimate_matches_exact_on_tiny_graph(self, paper_graph):
+        seeds = np.array([0])
+        exact = exact_influence(paper_graph, seeds)
+        est = estimate_influence(paper_graph, seeds, n_simulations=30_000, rng=0)
+        assert est == pytest.approx(exact, rel=0.03)
+
+    def test_estimate_matches_exact_multi_seed(self):
+        g = build_graph(5, [(0, 1, 0.5), (1, 2, 0.4), (3, 2, 0.7), (2, 4, 0.3)])
+        seeds = np.array([0, 3])
+        exact = exact_influence(g, seeds)
+        est = estimate_influence(g, seeds, n_simulations=30_000, rng=1)
+        assert est == pytest.approx(exact, rel=0.03)
+
+    def test_duplicate_seeds_equivalent_to_unique(self):
+        g = build_graph(3, [(0, 1, 1.0)])
+        a = simulate_ic_once(g, np.array([0, 0]), rng=0)
+        b = simulate_ic_once(g, np.array([0]), rng=0)
+        assert a.tolist() == b.tolist()

@@ -1,0 +1,168 @@
+"""Tests for dynamic updates (Algorithm 7).
+
+The master property: after any sequence of insertions and deletions, the
+incrementally maintained coarsening equals a from-scratch recomputation over
+the same live-edge samples.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicCoarsener
+from repro.errors import CoarseningError
+from repro.graph import InfluenceGraph
+
+from .conftest import build_graph, random_graph
+
+
+def assert_matches_reference(dyn: DynamicCoarsener) -> None:
+    snap = dyn.snapshot()
+    ref = dyn.reference_coarsening()
+    assert snap.partition == ref.partition
+    assert np.array_equal(snap.pi, ref.pi)
+    assert snap.coarse == ref.coarse
+
+
+class TestConstruction:
+    def test_initial_state_matches_reference(self, two_cliques_graph):
+        dyn = DynamicCoarsener(two_cliques_graph, r=4, rng=0)
+        assert_matches_reference(dyn)
+
+    def test_rejects_weighted_input(self):
+        g = InfluenceGraph.from_edges(
+            2, np.array([0]), np.array([1]), np.array([0.5]),
+            weights=np.array([2, 2]),
+        )
+        with pytest.raises(CoarseningError):
+            DynamicCoarsener(g, r=2, rng=0)
+
+    def test_current_graph_round_trip(self, paper_graph):
+        dyn = DynamicCoarsener(paper_graph, r=2, rng=0)
+        assert dyn.current_graph() == paper_graph
+
+
+class TestInsert:
+    def test_insert_updates_graph(self, paper_graph):
+        dyn = DynamicCoarsener(paper_graph, r=4, rng=0)
+        dyn.insert_edge(0, 8, 0.25)
+        g = dyn.current_graph()
+        assert g.m == 14
+        assert_matches_reference(dyn)
+
+    def test_insert_duplicate_rejected(self, paper_graph):
+        dyn = DynamicCoarsener(paper_graph, r=2, rng=0)
+        with pytest.raises(CoarseningError, match="already"):
+            dyn.insert_edge(0, 1, 0.5)
+
+    def test_insert_self_loop_rejected(self, paper_graph):
+        dyn = DynamicCoarsener(paper_graph, r=2, rng=0)
+        with pytest.raises(CoarseningError):
+            dyn.insert_edge(3, 3, 0.5)
+
+    def test_insert_bad_probability_rejected(self, paper_graph):
+        dyn = DynamicCoarsener(paper_graph, r=2, rng=0)
+        with pytest.raises(CoarseningError):
+            dyn.insert_edge(0, 8, 1.5)
+
+    def test_low_probability_insert_prunes_scc_work(self, paper_graph):
+        dyn = DynamicCoarsener(paper_graph, r=16, rng=0)
+        before = dyn.stats.scc_recomputations
+        dyn.insert_edge(0, 8, 0.01)
+        # With p = 0.01, almost all 16 sample updates are coin-flip skips.
+        assert dyn.stats.scc_recomputations - before <= 3
+        assert_matches_reference(dyn)
+
+
+class TestDelete:
+    def test_delete_updates_graph(self, paper_graph):
+        dyn = DynamicCoarsener(paper_graph, r=4, rng=0)
+        dyn.delete_edge(0, 1)
+        assert dyn.current_graph().m == 12
+        assert_matches_reference(dyn)
+
+    def test_delete_missing_rejected(self, paper_graph):
+        dyn = DynamicCoarsener(paper_graph, r=2, rng=0)
+        with pytest.raises(CoarseningError, match="not present"):
+            dyn.delete_edge(0, 8)
+
+    def test_insert_then_delete_roundtrip(self, paper_graph):
+        dyn = DynamicCoarsener(paper_graph, r=4, rng=1)
+        dyn.insert_edge(6, 0, 0.35)
+        dyn.delete_edge(6, 0)
+        assert dyn.current_graph() == paper_graph
+        assert_matches_reference(dyn)
+
+    def test_delete_bundled_edge_updates_q(self, two_cliques_graph):
+        """Deleting one edge of a coarse bundle divides it out of q."""
+        dyn = DynamicCoarsener(two_cliques_graph, r=4, rng=0)
+        # insert a second bridge between the cliques, then delete the first
+        dyn.insert_edge(2, 6, 0.3)
+        dyn.delete_edge(1, 5)
+        assert_matches_reference(dyn)
+
+    def test_delete_probability_one_edge(self):
+        g = build_graph(3, [(0, 1, 1.0), (0, 2, 0.5)])
+        dyn = DynamicCoarsener(g, r=3, rng=0)
+        dyn.delete_edge(0, 1)
+        assert_matches_reference(dyn)
+
+
+class TestRandomisedSequences:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_long_mixed_sequence_matches_reference(self, seed):
+        g = random_graph(15, 40, seed=seed, p_low=0.2, p_high=0.9)
+        dyn = DynamicCoarsener(g, r=5, rng=seed)
+        rng = np.random.default_rng(seed + 100)
+        for step in range(25):
+            existing = list(dyn._edges)
+            if existing and rng.random() < 0.45:
+                u, v = existing[rng.integers(len(existing))]
+                dyn.delete_edge(u, v)
+            else:
+                u = int(rng.integers(15))
+                v = int(rng.integers(15))
+                if u == v or (u, v) in dyn._edges:
+                    continue
+                dyn.insert_edge(u, v, float(rng.uniform(0.1, 0.95)))
+            if step % 5 == 4:
+                assert_matches_reference(dyn)
+        assert_matches_reference(dyn)
+        assert dyn.stats.insertions + dyn.stats.deletions > 0
+
+    def test_stats_accounting(self, paper_graph):
+        dyn = DynamicCoarsener(paper_graph, r=8, rng=0)
+        dyn.insert_edge(0, 8, 0.5)
+        dyn.delete_edge(0, 8)
+        s = dyn.stats
+        assert s.insertions == 1
+        assert s.deletions == 1
+        assert s.scc_recomputations + s.scc_skipped == 2 * 8
+        assert s.full_rebuilds + s.fast_updates == 2
+
+
+class TestBundleRecompute:
+    def test_delete_probability_one_edge_from_multi_edge_bundle(self):
+        """Regression: deleting a p=1 edge whose coarse bundle has other
+        members must recompute the bundle WITHOUT the deleted edge.
+
+        Construct a reliable 2-block coarsening {0,1} and {2,3} with two
+        parallel original edges 0->2 (p=1) and 1->3 (p=0.4) in the same
+        coarse bundle; delete the p=1 edge and compare with a reference
+        recomputation.
+        """
+        from repro.graph import GraphBuilder
+
+        builder = GraphBuilder(n=4)
+        builder.add_edges([0, 1, 2, 3], [1, 0, 3, 2], [1.0] * 4)  # two 2-cycles
+        builder.add_edge(0, 2, 1.0)
+        builder.add_edge(1, 3, 0.4)
+        g = builder.build()
+        dyn = DynamicCoarsener(g, r=4, rng=0)
+        snap = dyn.snapshot()
+        assert snap.coarse.n == 2  # the two p=1 cycles merged
+        dyn.delete_edge(0, 2)
+        assert_matches_reference(dyn)
+        # the bundle must now carry exactly the surviving edge's probability
+        q = {tuple(map(int, e[:2])): float(e[2])
+             for e in zip(*dyn.snapshot().coarse.edge_arrays())}
+        assert list(q.values()) == pytest.approx([0.4])

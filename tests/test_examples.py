@@ -1,0 +1,28 @@
+"""Smoke test: the quickstart example must run and print its conclusions.
+
+The heavier examples (viral_marketing, out_of_core_pipeline, ...) are
+exercised indirectly through the integration tests; quickstart is cheap
+enough to run end-to-end here, which keeps deliverable (b) from rotting.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_quickstart_runs_and_verifies_bounds():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "q(c1, c2) = 0.44" in proc.stdout
+    assert "all sandwich bounds hold" in proc.stdout
+
+
+def test_all_examples_compile():
+    for script in sorted(EXAMPLES.glob("*.py")):
+        source = script.read_text(encoding="utf-8")
+        compile(source, str(script), "exec")

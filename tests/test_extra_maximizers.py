@@ -1,0 +1,136 @@
+"""Tests for TIM+, IRIE, and snapshot (PMC-style) greedy."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    IRIEMaximizer,
+    MonteCarloEstimator,
+    SnapshotGreedyMaximizer,
+    TIMPlusMaximizer,
+)
+from repro.analysis import exact_influence
+from repro.errors import AlgorithmError
+from repro.graph import GraphBuilder
+
+from .conftest import build_graph
+
+
+def star_graph(leaves: int = 8, p: float = 0.9):
+    builder = GraphBuilder(n=leaves + 1)
+    for leaf in range(1, leaves + 1):
+        builder.add_edge(0, leaf, p)
+    return builder.build()
+
+
+MAXIMIZERS = [
+    lambda: TIMPlusMaximizer(eps=0.3, rng=0, max_sets=30_000),
+    lambda: IRIEMaximizer(),
+    lambda: SnapshotGreedyMaximizer(n_snapshots=80, rng=0),
+]
+
+
+class TestPlanted:
+    @pytest.mark.parametrize("make", MAXIMIZERS)
+    def test_hub_found_on_star(self, make):
+        result = make().select(star_graph(), 1)
+        assert result.seeds.tolist() == [0]
+
+    @pytest.mark.parametrize("make", MAXIMIZERS)
+    def test_two_hubs(self, make):
+        builder = GraphBuilder(n=20)
+        for hub, leaves in ((0, range(2, 10)), (1, range(10, 18))):
+            for leaf in leaves:
+                builder.add_edge(hub, leaf, 0.9)
+        builder.add_edge(18, 19, 0.1)
+        result = make().select(builder.build(), 2)
+        assert sorted(result.seeds.tolist()) == [0, 1]
+
+    @pytest.mark.parametrize("make", MAXIMIZERS)
+    def test_quality_on_paper_graph(self, make, paper_graph):
+        seeds = make().select(paper_graph, 2).seeds
+        value = exact_influence(paper_graph, seeds)
+        best = max(
+            exact_influence(paper_graph, np.array([a, b]))
+            for a in range(9) for b in range(a + 1, 9)
+        )
+        assert value >= 0.75 * best
+
+    @pytest.mark.parametrize("make", MAXIMIZERS)
+    def test_parameter_validation(self, make):
+        g = star_graph()
+        with pytest.raises(AlgorithmError):
+            make().select(g, 0)
+        with pytest.raises(AlgorithmError):
+            make().select(g, g.n + 1)
+
+
+class TestTIMPlus:
+    def test_rejects_bad_eps(self):
+        with pytest.raises(AlgorithmError):
+            TIMPlusMaximizer(eps=0.0)
+
+    def test_kpt_at_least_trivial_bound(self):
+        g = star_graph(leaves=10, p=0.5)
+        tim = TIMPlusMaximizer(eps=0.3, rng=0, max_sets=20_000)
+        result = tim.select(g, 1)
+        assert result.extras["kpt"] >= g.total_weight / g.n
+
+    def test_works_on_weighted_graphs(self, two_cliques_graph):
+        from repro.core import coarsen_influence_graph
+
+        coarse = coarsen_influence_graph(two_cliques_graph, r=4, rng=0).coarse
+        result = TIMPlusMaximizer(eps=0.3, rng=1, max_sets=20_000).select(
+            coarse, 1
+        )
+        assert coarse.weights[result.seeds[0]] == 4
+
+
+class TestIRIE:
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(AlgorithmError):
+            IRIEMaximizer(alpha=0.0)
+        with pytest.raises(AlgorithmError):
+            IRIEMaximizer(iterations=0)
+
+    def test_rank_reflects_probabilities(self):
+        # 0 -> 1 strong, 2 -> 3 weak: IRIE must prefer 0
+        g = build_graph(4, [(0, 1, 0.9), (2, 3, 0.05)])
+        result = IRIEMaximizer().select(g, 1)
+        assert result.seeds.tolist() == [0]
+
+    def test_discount_avoids_redundant_seeds(self):
+        # 0 -> 1 -> 2 chain with strong edges: the second seed must not be
+        # vertex 1 (already covered by 0); it must pick the isolated 3.
+        g = build_graph(4, [(0, 1, 0.95), (1, 2, 0.95)])
+        result = IRIEMaximizer().select(g, 2)
+        assert result.seeds[0] == 0
+        assert result.seeds[1] == 3
+
+
+class TestSnapshotGreedy:
+    def test_rejects_bad_snapshots(self):
+        with pytest.raises(AlgorithmError):
+            SnapshotGreedyMaximizer(n_snapshots=0)
+
+    def test_estimate_matches_exact_with_many_snapshots(self, paper_graph):
+        result = SnapshotGreedyMaximizer(n_snapshots=4_000, rng=0).select(
+            paper_graph, 1
+        )
+        exact = exact_influence(paper_graph, result.seeds)
+        assert result.estimated_influence == pytest.approx(exact, rel=0.05)
+
+    def test_matches_mc_greedy_quality(self, two_cliques_graph):
+        judge = MonteCarloEstimator(5_000, rng=9)
+        result = SnapshotGreedyMaximizer(n_snapshots=200, rng=0).select(
+            two_cliques_graph, 1
+        )
+        # the upstream clique reaches everything; any of its members is
+        # optimal
+        assert result.seeds[0] in (0, 1, 2, 3)
+        assert judge.estimate(two_cliques_graph, result.seeds) > 4.0
+
+    def test_deterministic_given_seed(self, paper_graph):
+        a = SnapshotGreedyMaximizer(50, rng=3).select(paper_graph, 2)
+        b = SnapshotGreedyMaximizer(50, rng=3).select(paper_graph, 2)
+        assert np.array_equal(a.seeds, b.seeds)

@@ -1,0 +1,152 @@
+"""Failure-injection tests: corrupted inputs, adversarial parameters,
+and degenerate graphs must fail loudly (or degrade gracefully), never
+silently corrupt results."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import (
+    GraphBuilder,
+    InfluenceGraph,
+    PairStore,
+    TripletStore,
+    coarsen_influence_graph,
+    coarsen_influence_graph_sublinear,
+)
+from repro.algorithms import DSSAMaximizer, MonteCarloEstimator
+from repro.core import DynamicCoarsener, coarsen
+from repro.errors import (
+    AlgorithmError,
+    BudgetExceededError,
+    CoarseningError,
+    GraphFormatError,
+)
+from repro.partition import Partition
+
+from .conftest import build_graph, random_graph
+
+
+class TestCorruptedStores:
+    def test_truncated_payload_detected_on_read(self, tmp_path):
+        g = random_graph(10, 30, seed=0)
+        store = TripletStore.from_graph(g, tmp_path / "g.trip")
+        # chop off the tail of the file (partial record)
+        size = os.path.getsize(store.path)
+        with open(store.path, "r+b") as handle:
+            handle.truncate(size - 7)
+        reopened = TripletStore.open(tmp_path / "g.trip")
+        with pytest.raises(GraphFormatError, match="truncated edge record"):
+            list(reopened.iter_chunks())
+
+    def test_header_size_mismatch_is_visible(self, tmp_path):
+        store = PairStore.create(tmp_path / "p.pairs", n=4)
+        store.append(np.array([0, 1]), np.array([1, 2]))
+        # forge the header to claim more edges than stored
+        other = PairStore(tmp_path / "p.pairs", n=4, m=2)
+        tails, heads = other.read_all()
+        assert tails.size == 2  # reads what exists, not the forged count
+
+
+class TestDegenerateGraphs:
+    def test_coarsen_empty_graph(self):
+        g = InfluenceGraph.empty(5)
+        res = coarsen_influence_graph(g, r=4, rng=0)
+        assert res.coarse.n == 5
+        assert res.coarse.m == 0
+
+    def test_coarsen_single_vertex(self):
+        g = InfluenceGraph.empty(1)
+        res = coarsen_influence_graph(g, r=2, rng=0)
+        assert res.coarse.n == 1
+
+    def test_all_probability_one_graph_collapses_sccs(self):
+        g = build_graph(4, [(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)])
+        res = coarsen_influence_graph(g, r=16, rng=0)
+        assert res.coarse.n == 2
+        assert res.coarse.m == 0
+
+    def test_near_zero_probabilities_keep_everything(self):
+        edges = [(i, (i + 1) % 8, 1e-9) for i in range(8)]
+        g = build_graph(8, edges)
+        res = coarsen_influence_graph(g, r=4, rng=0)
+        assert res.coarse.n == 8
+        assert res.coarse.m == 8
+
+    def test_dense_complete_digraph(self):
+        n = 12
+        edges = [(i, j, 0.99) for i in range(n) for j in range(n) if i != j]
+        g = build_graph(n, edges)
+        res = coarsen_influence_graph(g, r=8, rng=0)
+        assert res.coarse.n == 1
+        assert res.coarse.weights.tolist() == [n]
+
+    def test_estimator_on_edgeless_graph(self):
+        g = InfluenceGraph.empty(3)
+        est = MonteCarloEstimator(100, rng=0)
+        assert est.estimate(g, np.array([1])) == 1.0
+
+
+class TestAdversarialParameters:
+    def test_dssa_budget_failure_is_clean(self, two_cliques_graph):
+        dssa = DSSAMaximizer(eps=0.05, delta=0.001, rng=0,
+                             memory_budget_elements=10)
+        with pytest.raises(BudgetExceededError):
+            dssa.select(two_cliques_graph, 2)
+        # the instance is reusable after the failure
+        dssa.memory_budget_elements = None
+        result = dssa.select(two_cliques_graph, 2)
+        assert result.seeds.size == 2
+
+    def test_coarsen_with_foreign_partition_fails(self, paper_graph):
+        foreign = Partition.trivial(4)  # wrong universe size
+        with pytest.raises(CoarseningError):
+            coarsen(paper_graph, foreign)
+
+    def test_builder_rejects_nan_probability(self):
+        b = GraphBuilder(n=2)
+        b.add_edge(0, 1, float("nan"))
+        with pytest.raises(GraphFormatError):
+            b.build()
+
+    def test_negative_probability_rejected(self):
+        b = GraphBuilder(n=2)
+        b.add_edge(0, 1, -0.5)
+        with pytest.raises(GraphFormatError):
+            b.build()
+
+    def test_sublinear_with_zero_chunk_does_not_hang(self, tmp_path):
+        g = random_graph(8, 20, seed=0)
+        src = TripletStore.from_graph(g, tmp_path / "g.trip")
+        # chunk_edges=1 is the pathological-but-legal extreme
+        res = coarsen_influence_graph_sublinear(
+            src, tmp_path / "h.trip", r=2, rng=0, chunk_edges=1
+        )
+        assert res.load().coarse.n >= 1
+
+
+class TestDynamicEdgeCases:
+    def test_empty_graph_dynamic(self):
+        dyn = DynamicCoarsener(InfluenceGraph.empty(3), r=4, rng=0)
+        dyn.insert_edge(0, 1, 0.5)
+        dyn.insert_edge(1, 0, 0.9)
+        assert dyn.current_graph().m == 2
+        snap = dyn.snapshot()
+        ref = dyn.reference_coarsening()
+        assert snap.coarse == ref.coarse
+
+    def test_delete_to_empty(self):
+        g = build_graph(3, [(0, 1, 0.5)])
+        dyn = DynamicCoarsener(g, r=4, rng=0)
+        dyn.delete_edge(0, 1)
+        assert dyn.current_graph().m == 0
+        assert dyn.snapshot().coarse.m == 0
+
+    def test_r_zero_dynamic(self):
+        g = build_graph(3, [(0, 1, 0.5)])
+        dyn = DynamicCoarsener(g, r=0, rng=0)
+        # with no samples the partition is trivially {V}
+        assert dyn.snapshot().coarse.n == 1
+        dyn.insert_edge(1, 2, 0.5)
+        assert dyn.snapshot().coarse.n == 1

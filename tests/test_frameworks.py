@@ -1,0 +1,106 @@
+"""Tests for the estimation/maximization frameworks (Algorithms 3, 4)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DegreeHeuristic, MonteCarloEstimator, RISMaximizer
+from repro.analysis import exact_influence
+from repro.core import (
+    coarsen,
+    coarsen_influence_graph,
+    estimate_on_coarse,
+    maximize_on_coarse,
+)
+from repro.errors import AlgorithmError
+from repro.partition import Partition
+
+
+class _ExactEstimator:
+    """Exact-influence oracle for tiny graphs (test double)."""
+
+    def estimate(self, graph, seeds):
+        return exact_influence(graph, seeds)
+
+
+class TestEstimationFramework:
+    def test_paper_example_exact_on_both_sides(
+        self, paper_graph, paper_partition_blocks
+    ):
+        """Theorem 4.6 lower half: Inf_H(pi(S)) >= Inf_G(S), checked exactly."""
+        partition = Partition.from_blocks(paper_partition_blocks, 9)
+        coarse, pi = coarsen(paper_graph, partition)
+        from repro.core.result import CoarsenResult, CoarsenStats
+
+        result = CoarsenResult(
+            coarse=coarse, pi=pi, partition=partition, stats=CoarsenStats()
+        )
+        for seed in range(9):
+            seeds = np.array([seed])
+            inf_g = exact_influence(paper_graph, seeds)
+            inf_h = estimate_on_coarse(result, seeds, _ExactEstimator())
+            assert inf_h >= inf_g - 1e-9
+
+    def test_estimation_close_on_robust_coarsening(self, two_cliques_graph):
+        from repro.diffusion import estimate_influence
+
+        result = coarsen_influence_graph(two_cliques_graph, r=8, rng=0)
+        seeds = np.array([0])
+        inf_g = estimate_influence(two_cliques_graph, seeds, 20_000, rng=3)
+        est = estimate_on_coarse(
+            result, seeds, MonteCarloEstimator(20_000, rng=1)
+        )
+        # cliques are near-deterministic, so coarse estimate tracks closely
+        assert est == pytest.approx(inf_g, rel=0.05)
+
+    def test_rejects_empty_seed_set(self, two_cliques_graph):
+        result = coarsen_influence_graph(two_cliques_graph, r=2, rng=0)
+        with pytest.raises(AlgorithmError):
+            estimate_on_coarse(result, np.array([], dtype=np.int64),
+                               MonteCarloEstimator(10, rng=0))
+
+    def test_seed_set_inside_one_block_deduplicates(self, two_cliques_graph):
+        result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
+        est_one = estimate_on_coarse(
+            result, np.array([0]), MonteCarloEstimator(5_000, rng=2)
+        )
+        est_all = estimate_on_coarse(
+            result, np.array([0, 1, 2, 3]), MonteCarloEstimator(5_000, rng=2)
+        )
+        # same coarse seed set => statistically identical estimates
+        assert est_one == pytest.approx(est_all, rel=0.05)
+
+
+class TestMaximizationFramework:
+    def test_pull_back_property(self, two_cliques_graph):
+        """pi(S_out) must equal the coarse solution T (Algorithm 4)."""
+        result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
+        out = maximize_on_coarse(result, 2, DegreeHeuristic(), rng=0)
+        coarse_seeds = out.extras["coarse_seeds"]
+        assert set(result.pi[out.seeds].tolist()) == set(coarse_seeds.tolist())
+
+    def test_selects_high_influence_block(self, two_cliques_graph):
+        result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
+        out = maximize_on_coarse(
+            result, 1, RISMaximizer(n_sets=2_000, rng=1), rng=0
+        )
+        # The upstream clique {0..3} reaches everything via the bridge, so
+        # the single seed must be one of its members.
+        assert out.seeds[0] in (0, 1, 2, 3)
+
+    def test_rejects_nonpositive_k(self, two_cliques_graph):
+        result = coarsen_influence_graph(two_cliques_graph, r=2, rng=0)
+        with pytest.raises(AlgorithmError):
+            maximize_on_coarse(result, 0, DegreeHeuristic())
+
+    def test_estimated_influence_passed_through(self, two_cliques_graph):
+        result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
+        out = maximize_on_coarse(
+            result, 1, RISMaximizer(n_sets=1_000, rng=2), rng=0
+        )
+        assert out.estimated_influence > 0
+
+    def test_deterministic_pull_back_with_seed(self, two_cliques_graph):
+        result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
+        a = maximize_on_coarse(result, 2, DegreeHeuristic(), rng=7)
+        b = maximize_on_coarse(result, 2, DegreeHeuristic(), rng=7)
+        assert np.array_equal(a.seeds, b.seeds)

@@ -1,0 +1,77 @@
+"""Unit tests for edge-list text I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import read_edge_list, write_edge_list
+
+from .conftest import build_graph
+
+
+class TestReadEdgeList:
+    def test_basic_with_probabilities(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n0 1 0.3\n1 2 0.7\n")
+        g = read_edge_list(path)
+        assert g.n == 3
+        assert g.m == 2
+        pairs = {(u, v): p for u, v, p in zip(*g.edge_arrays())}
+        assert pairs[(0, 1)] == pytest.approx(0.3)
+
+    def test_default_probability(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = read_edge_list(path, default_prob=0.25)
+        assert g.probs[0] == pytest.approx(0.25)
+
+    def test_undirected_flag(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5\n")
+        g = read_edge_list(path, undirected=True)
+        assert g.m == 2
+
+    def test_reverse_flag(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5\n")
+        g = read_edge_list(path, reverse=True)
+        assert set(zip(*g.edge_arrays()[:2])) == {(1, 0)}
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0 0.5\n0 1 0.5\n")
+        assert read_edge_list(path).m == 1
+
+    def test_duplicates_combined(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.3\n0 1 0.2\n")
+        g = read_edge_list(path)
+        assert g.m == 1
+        assert g.probs[0] == pytest.approx(0.44)
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5 extra stuff\n")
+        with pytest.raises(GraphFormatError, match="expected"):
+            read_edge_list(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("\n0 1 0.5\n\n")
+        assert read_edge_list(path).m == 1
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_graph(self, tmp_path):
+        g = build_graph(4, [(0, 1, 0.25), (1, 2, 0.5), (3, 0, 0.125)])
+        path = tmp_path / "out.txt"
+        write_edge_list(g, path)
+        back = read_edge_list(path)
+        assert back == g
+
+    def test_write_without_probs(self, tmp_path):
+        g = build_graph(3, [(0, 1, 0.25)])
+        path = tmp_path / "out.txt"
+        write_edge_list(g, path, include_probs=False)
+        back = read_edge_list(path, default_prob=0.9)
+        assert back.probs[0] == pytest.approx(0.9)

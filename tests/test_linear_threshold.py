@@ -1,0 +1,95 @@
+"""Tests for the Linear Threshold extension."""
+
+import numpy as np
+import pytest
+
+from repro.diffusion.linear_threshold import (
+    estimate_influence_lt,
+    sample_lt_live_edges,
+    simulate_lt_once,
+    validate_lt_weights,
+)
+from repro.datasets import assign_weighted_cascade
+from repro.errors import AlgorithmError
+
+from .conftest import build_graph, random_graph
+
+
+def wc_graph(seed=0, n=20, m=60):
+    """A random graph with WC weights (valid LT weights by construction)."""
+    return assign_weighted_cascade(random_graph(n, m, seed=seed))
+
+
+class TestValidation:
+    def test_wc_weights_pass(self):
+        validate_lt_weights(wc_graph())
+
+    def test_overweight_vertex_rejected(self):
+        g = build_graph(3, [(0, 2, 0.8), (1, 2, 0.7)])
+        with pytest.raises(AlgorithmError, match="incoming mass"):
+            validate_lt_weights(g)
+
+    def test_estimator_validates(self):
+        g = build_graph(3, [(0, 2, 0.8), (1, 2, 0.7)])
+        with pytest.raises(AlgorithmError):
+            estimate_influence_lt(g, np.array([0]), 10, rng=0)
+
+
+class TestLiveEdgeSampling:
+    def test_at_most_one_in_edge_per_vertex(self):
+        g = wc_graph(1)
+        for trial in range(10):
+            indptr, heads = sample_lt_live_edges(g, rng=trial)
+            counts = np.bincount(heads, minlength=g.n)
+            assert counts.max(initial=0) <= 1
+
+    def test_selection_probabilities(self):
+        # v2 has in-edges from 0 (w=0.6) and 1 (w=0.3); no edge w.p. 0.1
+        g = build_graph(3, [(0, 2, 0.6), (1, 2, 0.3)])
+        rng = np.random.default_rng(0)
+        from_zero = from_one = none = 0
+        for _ in range(4000):
+            indptr, heads = sample_lt_live_edges(g, rng)
+            tails = np.repeat(np.arange(3), np.diff(indptr))
+            pairs = set(zip(tails.tolist(), heads.tolist()))
+            if (0, 2) in pairs:
+                from_zero += 1
+            elif (1, 2) in pairs:
+                from_one += 1
+            else:
+                none += 1
+        assert from_zero / 4000 == pytest.approx(0.6, abs=0.03)
+        assert from_one / 4000 == pytest.approx(0.3, abs=0.03)
+        assert none / 4000 == pytest.approx(0.1, abs=0.03)
+
+
+class TestSimulation:
+    def test_seeds_always_active(self):
+        g = wc_graph(2)
+        active = simulate_lt_once(g, np.array([3]), rng=0)
+        assert active[3]
+
+    def test_empty_seed_rejected(self):
+        g = wc_graph(3)
+        with pytest.raises(AlgorithmError):
+            simulate_lt_once(g, np.array([], dtype=np.int64), rng=0)
+
+    def test_deterministic_chain_with_weight_one(self):
+        # b(0,1) = b(1,2) = 1.0: thresholds are always crossed
+        g = build_graph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        active = simulate_lt_once(g, np.array([0]), rng=0)
+        assert active.all()
+
+    def test_two_methods_agree_in_distribution(self):
+        """KKT equivalence: threshold simulation == live-edge reachability."""
+        g = wc_graph(4, n=15, m=40)
+        seeds = np.array([0, 1])
+        a = estimate_influence_lt(g, seeds, 6_000, rng=0, method="live-edge")
+        b = estimate_influence_lt(g, seeds, 6_000, rng=1, method="threshold")
+        assert a == pytest.approx(b, rel=0.05)
+
+    def test_exact_two_vertex_case(self):
+        # single edge with weight w: Inf({0}) = 1 + w exactly
+        g = build_graph(2, [(0, 1, 0.35)])
+        est = estimate_influence_lt(g, np.array([0]), 20_000, rng=0)
+        assert est == pytest.approx(1.35, abs=0.02)

@@ -1,0 +1,76 @@
+"""Tests for Linear Threshold RR sets and LT sketch-based maximization."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import DSSAMaximizer, RISEstimator, RISMaximizer
+from repro.datasets import assign_weighted_cascade
+from repro.diffusion import RRSampler, estimate_influence_lt
+from repro.errors import AlgorithmError
+from repro.graph import GraphBuilder
+
+from .conftest import build_graph, random_graph
+
+
+def wc(graph):
+    return assign_weighted_cascade(graph)
+
+
+class TestLTRRSets:
+    def test_unknown_model_rejected(self, paper_graph):
+        with pytest.raises(AlgorithmError):
+            RRSampler(paper_graph, rng=0, model="sir")
+
+    def test_lt_weights_validated(self):
+        g = build_graph(3, [(0, 2, 0.8), (1, 2, 0.7)])  # mass 1.5 into v2
+        with pytest.raises(AlgorithmError):
+            RRSampler(g, rng=0, model="lt")
+
+    def test_rr_set_is_a_path_containing_root(self):
+        g = wc(random_graph(20, 60, seed=0))
+        sampler = RRSampler(g, rng=1, model="lt")
+        for _ in range(30):
+            root = sampler.sample_root()
+            rr = sampler.sample(root=root)
+            assert root in rr
+            assert len(set(rr.tolist())) == rr.size
+
+    def test_unbiasedness_against_lt_simulation(self):
+        """W * Pr[v in RR] must equal Inf_LT({v}) (the LT-RIS identity)."""
+        g = wc(build_graph(4, [(0, 1, 1.0), (1, 2, 0.5), (3, 2, 0.5),
+                               (2, 3, 1.0)]))
+        sampler = RRSampler(g, rng=0, model="lt")
+        hits = sum(0 in sampler.sample() for _ in range(30_000))
+        sketch_estimate = g.n * hits / 30_000
+        sim_estimate = estimate_influence_lt(g, np.array([0]), 30_000, rng=1)
+        assert sketch_estimate == pytest.approx(sim_estimate, rel=0.05)
+
+
+class TestLTMaximization:
+    def _lt_star(self):
+        # hub 0 is every leaf's only in-neighbour => WC weight 1.0 per edge
+        builder = GraphBuilder(n=9)
+        for leaf in range(1, 9):
+            builder.add_edge(0, leaf, 0.9)
+        return wc(builder.build())
+
+    def test_ris_finds_hub_under_lt(self):
+        g = self._lt_star()
+        result = RISMaximizer(n_sets=2_000, rng=0, model="lt").select(g, 1)
+        assert result.seeds.tolist() == [0]
+        # deterministic star: hub influence is exactly 9 under LT/WC
+        assert result.estimated_influence == pytest.approx(9.0, rel=0.1)
+
+    def test_dssa_runs_under_lt(self):
+        g = wc(random_graph(40, 150, seed=3))
+        result = DSSAMaximizer(eps=0.25, delta=0.1, rng=0, model="lt").select(
+            g, 3
+        )
+        assert result.seeds.size == 3
+
+    def test_ris_estimator_under_lt_matches_simulation(self):
+        g = wc(random_graph(15, 45, seed=5))
+        est = RISEstimator(n_sets=30_000, rng=0, model="lt")
+        seeds = np.array([0, 3])
+        sim = estimate_influence_lt(g, seeds, 20_000, rng=1)
+        assert est.estimate(g, seeds) == pytest.approx(sim, rel=0.07)

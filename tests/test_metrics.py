@@ -1,0 +1,90 @@
+"""Tests for evaluation metrics, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    average_degree,
+    mean_absolute_relative_error,
+    rank_array,
+    scc_size_distribution,
+    spearman_rank_correlation,
+)
+from repro.errors import AlgorithmError
+from repro.partition import Partition
+
+
+class TestMARE:
+    def test_perfect_estimates(self):
+        gt = np.array([1.0, 2.0, 4.0])
+        assert mean_absolute_relative_error(gt, gt) == 0.0
+
+    def test_known_value(self):
+        gt = np.array([10.0, 20.0])
+        est = np.array([11.0, 18.0])
+        assert mean_absolute_relative_error(gt, est) == pytest.approx(0.1)
+
+    def test_rejects_zero_ground_truth(self):
+        with pytest.raises(AlgorithmError):
+            mean_absolute_relative_error(np.array([0.0]), np.array([1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(AlgorithmError):
+            mean_absolute_relative_error(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestRanks:
+    def test_simple_ranks(self):
+        assert rank_array(np.array([30.0, 10.0, 20.0])).tolist() == [3.0, 1.0, 2.0]
+
+    def test_tied_ranks_averaged(self):
+        assert rank_array(np.array([1.0, 2.0, 2.0, 3.0])).tolist() == [
+            1.0, 2.5, 2.5, 4.0,
+        ]
+
+    def test_all_equal(self):
+        assert rank_array(np.array([5.0, 5.0, 5.0])).tolist() == [2.0, 2.0, 2.0]
+
+    def test_matches_scipy(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.integers(0, 8, size=30).astype(float)  # plenty of ties
+            assert rank_array(x).tolist() == scipy_stats.rankdata(x).tolist()
+
+
+class TestSpearman:
+    def test_perfect_correlation(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(x, 10 * x) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert spearman_rank_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_scipy_with_ties(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            x = rng.integers(0, 10, size=40).astype(float)
+            y = x + rng.normal(0, 3, size=40)
+            expected = scipy_stats.spearmanr(x, y).statistic
+            assert spearman_rank_correlation(x, y) == pytest.approx(expected)
+
+    def test_constant_input(self):
+        x = np.array([1.0, 1.0, 1.0])
+        assert spearman_rank_correlation(x, x) == 1.0
+
+    def test_rejects_short_input(self):
+        with pytest.raises(AlgorithmError):
+            spearman_rank_correlation(np.array([1.0]), np.array([2.0]))
+
+
+class TestStructureMetrics:
+    def test_scc_size_distribution(self):
+        p = Partition(np.array([0, 0, 0, 1, 2, 2]))
+        assert scc_size_distribution(p) == {3: 1, 1: 1, 2: 1}
+
+    def test_average_degree(self):
+        assert average_degree(10, 45) == pytest.approx(4.5)
+        assert average_degree(0, 0) == 0.0

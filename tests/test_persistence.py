@@ -1,0 +1,68 @@
+"""Tests for coarsening persistence (save/load round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.core import coarsen_influence_graph
+from repro.core.persistence import load_coarsening, save_coarsening
+from repro.errors import GraphFormatError
+
+from .conftest import random_graph
+
+
+class TestRoundTrip:
+    def test_everything_preserved(self, tmp_path, two_cliques_graph):
+        result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
+        path = tmp_path / "coarse.npz"
+        save_coarsening(result, path)
+        back = load_coarsening(path)
+        assert back.coarse == result.coarse
+        assert np.array_equal(back.pi, result.pi)
+        assert back.partition == result.partition
+        assert back.stats.r == 4
+        assert back.stats.input_edges == two_cliques_graph.m
+
+    def test_loaded_result_usable_by_frameworks(self, tmp_path,
+                                                two_cliques_graph):
+        from repro.algorithms import MonteCarloEstimator
+        from repro.core import estimate_on_coarse
+
+        result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
+        path = tmp_path / "coarse.npz"
+        save_coarsening(result, path)
+        back = load_coarsening(path)
+        a = estimate_on_coarse(result, np.array([0]),
+                               MonteCarloEstimator(2_000, rng=1))
+        b = estimate_on_coarse(back, np.array([0]),
+                               MonteCarloEstimator(2_000, rng=1))
+        assert a == b
+
+    def test_random_graphs_round_trip(self, tmp_path):
+        for seed in range(3):
+            g = random_graph(30, 90, seed=seed, p_low=0.3, p_high=0.95)
+            result = coarsen_influence_graph(g, r=3, rng=seed)
+            path = tmp_path / f"c{seed}.npz"
+            save_coarsening(result, path)
+            assert load_coarsening(path).coarse == result.coarse
+
+
+class TestFormatGuards:
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, wrong=np.arange(3))
+        with pytest.raises(GraphFormatError, match="not a repro"):
+            load_coarsening(path)
+
+    def test_future_version_rejected(self, tmp_path, two_cliques_graph):
+        import json
+
+        result = coarsen_influence_graph(two_cliques_graph, r=2, rng=0)
+        path = tmp_path / "coarse.npz"
+        save_coarsening(result, path)
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta"]).decode())
+        meta["version"] = 999
+        data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **data)
+        with pytest.raises(GraphFormatError, match="newer format"):
+            load_coarsening(path)

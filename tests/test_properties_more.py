@@ -1,0 +1,123 @@
+"""Additional property-based tests: stores, samplers, simulators, dynamics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DynamicCoarsener
+from repro.diffusion import (
+    reachable_mask,
+    sample_live_edge_csr,
+    simulate_ic_once,
+)
+from repro.graph import GraphBuilder
+from repro.scc import semi_external_scc_labels, tarjan_scc_labels
+from repro.partition import Partition
+from repro.storage import PairStore, TripletStore
+
+
+@st.composite
+def graphs(draw, max_n: int = 10, max_m: int = 30):
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(0, max_m))
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1),
+                  st.floats(0.05, 1.0, allow_nan=False)),
+        min_size=m, max_size=m,
+    ))
+    builder = GraphBuilder(n=n)
+    for u, v, p in edges:
+        builder.add_edge(u, v, p)
+    return builder.build()
+
+
+class TestStoreRoundTrips:
+    @given(graphs(), st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_triplet_store_round_trip(self, tmp_path_factory, g, chunk):
+        path = tmp_path_factory.mktemp("store") / "g.trip"
+        store = TripletStore.from_graph(g, path, chunk_edges=chunk)
+        assert store.to_graph() == g
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    max_size=40),
+           st.integers(1, 16))
+    @settings(max_examples=30, deadline=None)
+    def test_pair_store_preserves_order(self, tmp_path_factory, pairs,
+                                        chunk):
+        path = tmp_path_factory.mktemp("store") / "p.pairs"
+        store = PairStore.create(path, n=10)
+        if pairs:
+            store.append(np.array([p[0] for p in pairs]),
+                         np.array([p[1] for p in pairs]))
+        tails, heads = store.read_all()
+        assert tails.tolist() == [p[0] for p in pairs]
+        assert heads.tolist() == [p[1] for p in pairs]
+
+
+class TestSamplerProperties:
+    @given(graphs(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_live_edges_subset_of_original(self, g, seed):
+        indptr, heads = sample_live_edge_csr(g, rng=seed)
+        assert indptr[-1] <= g.m
+        tails = np.repeat(np.arange(g.n), np.diff(indptr))
+        original = set(zip(*(a.tolist() for a in g.edge_arrays()[:2])))
+        assert set(zip(tails.tolist(), heads.tolist())) <= original
+
+    @given(graphs(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_simulation_bounded_by_reachability(self, g, seed):
+        """Activated set ⊆ deterministically reachable set, ⊇ seeds."""
+        seeds = np.array([0])
+        active = simulate_ic_once(g, seeds, rng=seed)
+        reach = reachable_mask(g.indptr, g.heads, seeds)
+        assert active[0]
+        assert (~active | reach).all()  # active implies reachable
+
+
+class TestSemiExternalProperties:
+    @given(graphs(max_n=12, max_m=36))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_tarjan(self, tmp_path_factory, g):
+        path = tmp_path_factory.mktemp("scc") / "g.pairs"
+        store = PairStore.create(path, n=g.n)
+        tails, heads, _ = g.edge_arrays()
+        if tails.size:
+            store.append(tails, heads)
+        semi = Partition(semi_external_scc_labels(store, chunk_edges=5))
+        ref = Partition(tarjan_scc_labels(g.indptr, g.heads))
+        assert semi == ref
+
+    def test_long_chain_few_rounds(self, tmp_path):
+        """The trim phase must resolve a pure chain without per-vertex
+        FB rounds (the regression that motivated it)."""
+        n = 400
+        store = PairStore.create(tmp_path / "chain.pairs", n=n)
+        store.append(np.arange(n - 1), np.arange(1, n))
+        labels, stats = semi_external_scc_labels(store, return_stats=True)
+        assert len(set(labels.tolist())) == n
+        assert stats.rounds <= 3
+        assert stats.stream_passes < 2 * n  # peel depth, not n rounds x passes
+
+
+class TestDynamicProperty:
+    @given(st.integers(0, 4), st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_insert_delete_inverse(self, r, seed):
+        builder = GraphBuilder(n=6)
+        builder.add_edges([0, 1, 2], [1, 2, 3], [0.5, 0.6, 0.7])
+        g = builder.build()
+        dyn = DynamicCoarsener(g, r=r, rng=seed)
+        before = dyn.snapshot()
+        dyn.insert_edge(4, 5, 0.4)
+        dyn.delete_edge(4, 5)
+        after = dyn.snapshot()
+        # graph restored; the coarse graph must match the reference exactly
+        assert dyn.current_graph() == g
+        ref = dyn.reference_coarsening()
+        assert after.partition == ref.partition
+        assert after.coarse == ref.coarse
+        # and weights conserved throughout
+        assert before.coarse.total_weight == after.coarse.total_weight == 6

@@ -1,0 +1,102 @@
+"""Tests for strongly connected reliability (Eq. 13/14) and Figure 8's
+max-SCC-rate distribution."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    estimate_reliability,
+    exact_reliability,
+    max_scc_rate_samples,
+    reliability_product,
+)
+from repro.errors import AlgorithmError
+from repro.partition import Partition
+
+from .conftest import build_graph
+
+
+class TestExactReliability:
+    def test_single_vertex_is_one(self):
+        assert exact_reliability(build_graph(1, [])) == 1.0
+
+    def test_two_cycle(self):
+        g = build_graph(2, [(0, 1, 0.5), (1, 0, 0.4)])
+        assert exact_reliability(g) == pytest.approx(0.2)
+
+    def test_disconnected_is_zero(self):
+        g = build_graph(3, [(0, 1, 0.9), (1, 0, 0.9)])
+        assert exact_reliability(g) == 0.0
+
+    def test_deterministic_cycle_is_one(self):
+        g = build_graph(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)])
+        assert exact_reliability(g) == pytest.approx(1.0)
+
+    def test_triangle_by_hand(self):
+        # cycle with probs a, b, c plus no redundancy: Rel = a*b*c
+        g = build_graph(3, [(0, 1, 0.5), (1, 2, 0.6), (2, 0, 0.7)])
+        assert exact_reliability(g) == pytest.approx(0.5 * 0.6 * 0.7)
+
+    def test_edge_limit_enforced(self):
+        edges = [(i, (i + 1) % 24, 0.5) for i in range(24)]
+        with pytest.raises(AlgorithmError):
+            exact_reliability(build_graph(24, edges))
+
+
+class TestEstimateReliability:
+    def test_close_to_exact(self):
+        g = build_graph(3, [(0, 1, 0.8), (1, 2, 0.8), (2, 0, 0.8),
+                            (1, 0, 0.5), (2, 1, 0.5), (0, 2, 0.5)])
+        exact = exact_reliability(g)
+        est = estimate_reliability(g, n_samples=20_000, rng=0)
+        assert est == pytest.approx(exact, abs=0.015)
+
+    def test_single_vertex(self):
+        assert estimate_reliability(build_graph(1, []), rng=0) == 1.0
+
+
+class TestMaxSccRate:
+    def test_rates_in_unit_interval(self, paper_graph):
+        rates = max_scc_rate_samples(paper_graph, n_samples=200, rng=0)
+        assert rates.size == 200
+        assert (rates >= 1.0 / 9).all()
+        assert (rates <= 1.0).all()
+
+    def test_deterministic_cycle_always_one(self):
+        g = build_graph(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+        rates = max_scc_rate_samples(g, n_samples=50, rng=0)
+        assert (rates == 1.0).all()
+
+    def test_high_probability_clique_mostly_connected(self, two_cliques_graph):
+        sub = two_cliques_graph.induced_subgraph(np.arange(4))
+        rates = max_scc_rate_samples(sub, n_samples=300, rng=0)
+        # the 0.98 clique is strongly connected in nearly every sample
+        assert np.mean(rates == 1.0) > 0.9
+
+
+class TestReliabilityProduct:
+    def test_all_singletons_is_one(self, paper_graph):
+        assert reliability_product(paper_graph, Partition.singletons(9)) == 1.0
+
+    def test_matches_exact_for_small_blocks(self, paper_graph):
+        partition = Partition.from_blocks(
+            [[0, 1, 2], [3], [4, 5], [6], [7, 8]], 9
+        )
+        got = reliability_product(paper_graph, partition, rng=0)
+        expected = 1.0
+        for block in ([0, 1, 2], [4, 5], [7, 8]):
+            expected *= exact_reliability(
+                paper_graph.induced_subgraph(np.array(block))
+            )
+        assert got == pytest.approx(expected)
+
+    def test_monte_carlo_path(self, two_cliques_graph):
+        partition = Partition.from_blocks(
+            [[0, 1, 2, 3], [4, 5, 6, 7]], 8
+        )
+        # each 0.98 clique has 12 edges; force the MC path with a low limit
+        got = reliability_product(
+            two_cliques_graph, partition, n_samples=3_000, rng=0,
+            exact_edge_limit=4,
+        )
+        assert 0.8 < got <= 1.0

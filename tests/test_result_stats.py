@@ -1,0 +1,75 @@
+"""Tests for result/stat dataclasses and their derived properties."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoarsenResult, CoarsenStats, coarsen_influence_graph
+from repro.errors import CoarseningError
+
+from .conftest import build_graph
+
+
+class TestCoarsenStats:
+    def test_ratios(self):
+        stats = CoarsenStats(
+            input_vertices=100, input_edges=400,
+            output_vertices=40, output_edges=100,
+        )
+        assert stats.vertex_reduction_ratio == pytest.approx(0.4)
+        assert stats.edge_reduction_ratio == pytest.approx(0.25)
+
+    def test_zero_input_is_safe(self):
+        stats = CoarsenStats()
+        assert stats.vertex_reduction_ratio == 1.0
+        assert stats.edge_reduction_ratio == 1.0
+
+    def test_total_seconds(self):
+        stats = CoarsenStats(first_stage_seconds=1.5, second_stage_seconds=0.5)
+        assert stats.total_seconds == pytest.approx(2.0)
+
+    def test_extras_dict_is_per_instance(self):
+        a, b = CoarsenStats(), CoarsenStats()
+        a.extras["x"] = 1
+        assert "x" not in b.extras
+
+
+class TestCoarsenResultHelpers:
+    def _result(self) -> CoarsenResult:
+        g = build_graph(4, [(0, 1, 0.99), (1, 0, 0.99), (2, 3, 0.1)])
+        return coarsen_influence_graph(g, r=2, rng=0)
+
+    def test_map_seeds_deduplicates(self):
+        res = self._result()
+        if res.partition.labels[0] != res.partition.labels[1]:
+            import pytest as _pytest
+
+            _pytest.skip("pair did not merge for this seed")
+        mapped = res.map_seeds(np.array([0, 1]))
+        assert mapped.size == 1
+
+    def test_pull_back_is_member_of_block(self):
+        res = self._result()
+        for coarse_vertex in range(res.coarse.n):
+            back = res.pull_back(np.array([coarse_vertex]), rng=1)
+            assert res.pi[back[0]] == coarse_vertex
+
+    def test_pull_back_covers_all_members_eventually(self):
+        res = self._result()
+        blocks = res.partition.non_singleton_blocks()
+        if not blocks:
+            import pytest as _pytest
+
+            _pytest.skip("no merged block")
+        block = blocks[0]
+        label = res.pi[block[0]]
+        rng = np.random.default_rng(0)
+        seen = {
+            int(res.pull_back(np.array([label]), rng=rng)[0])
+            for _ in range(100)
+        }
+        assert seen == set(block.tolist())
+
+    def test_map_seeds_rejects_out_of_range(self):
+        res = self._result()
+        with pytest.raises(CoarseningError):
+            res.map_seeds(np.array([-1]))

@@ -1,0 +1,93 @@
+"""Tests for r-robust SCC extraction (Definition 4.9, Theorem 4.11)."""
+
+import numpy as np
+import pytest
+
+from repro.core import robust_scc_partition, robust_scc_refinement_sequence
+from repro.diffusion import reachable_mask
+from repro.errors import AlgorithmError
+from repro.partition import Partition
+
+from .conftest import build_graph, random_graph
+
+
+class TestBasics:
+    def test_r_zero_is_trivial_partition(self, paper_graph):
+        assert robust_scc_partition(paper_graph, 0, rng=0) == Partition.trivial(9)
+
+    def test_negative_r_rejected(self, paper_graph):
+        with pytest.raises(AlgorithmError):
+            robust_scc_partition(paper_graph, -1, rng=0)
+
+    def test_deterministic_in_seed(self, paper_graph):
+        a = robust_scc_partition(paper_graph, 8, rng=42)
+        b = robust_scc_partition(paper_graph, 8, rng=42)
+        assert a == b
+
+    def test_deterministic_graph_r1_equals_scc(self):
+        # With all probabilities 1, every sample is the full graph.
+        g = build_graph(4, [(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0),
+                            (1, 2, 1.0)])
+        p = robust_scc_partition(g, 1, rng=0)
+        assert p.n_blocks == 2
+        assert p.labels[0] == p.labels[1]
+        assert p.labels[2] == p.labels[3]
+
+    def test_high_probability_cliques_merge(self, two_cliques_graph):
+        p = robust_scc_partition(two_cliques_graph, 4, rng=0)
+        # Each 0.95-probability 4-clique should robustly merge.
+        assert p.labels[0] == p.labels[1] == p.labels[2] == p.labels[3]
+        assert p.labels[4] == p.labels[5] == p.labels[6] == p.labels[7]
+        assert p.labels[0] != p.labels[4]
+
+    def test_isolated_vertices_are_singleton_robust_sccs(self):
+        g = build_graph(5, [(0, 1, 0.5)])
+        p = robust_scc_partition(g, 3, rng=0)
+        assert p.n_blocks == 5
+
+
+class TestDefinition:
+    """Every r-robust SCC must be SC in *all* r sampled graphs (Def. 4.9)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_blocks_sc_in_every_sample(self, seed):
+        g = random_graph(20, 80, seed=seed, p_low=0.3, p_high=0.95)
+        partition, samples = robust_scc_partition(
+            g, 4, rng=seed, keep_samples=True
+        )
+        assert len(samples) == 4
+        for block in partition.non_singleton_blocks():
+            for indptr, heads in samples:
+                # every member must reach every other within the sample
+                for v in block:
+                    mask = reachable_mask(indptr, heads, np.array([v]))
+                    assert mask[block].all(), "block not SC in a sample"
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_maximality_via_meet_characterisation(self, seed):
+        """Theorem 4.11: P_r equals the meet of per-sample SCC partitions."""
+        from repro.scc import scc_labels
+
+        g = random_graph(18, 60, seed=seed, p_low=0.3, p_high=0.95)
+        partition, samples = robust_scc_partition(
+            g, 3, rng=seed, keep_samples=True
+        )
+        meet = Partition.trivial(g.n)
+        for indptr, heads in samples:
+            meet = meet.meet(Partition(scc_labels(indptr, heads)))
+        assert partition == meet
+
+
+class TestMonotonicity:
+    def test_refinement_chain(self, two_cliques_graph):
+        """P_1, P_2, ... only refine (Theorem 4.14's deterministic core)."""
+        chain = robust_scc_refinement_sequence(two_cliques_graph, 8, rng=1)
+        assert len(chain) == 8
+        for finer, coarser in zip(chain[1:], chain[:-1]):
+            assert finer.is_refinement_of(coarser)
+
+    def test_block_counts_non_decreasing(self):
+        g = random_graph(30, 120, seed=7, p_low=0.2, p_high=0.9)
+        chain = robust_scc_refinement_sequence(g, 10, rng=3)
+        counts = [p.n_blocks for p in chain]
+        assert counts == sorted(counts)

@@ -1,0 +1,146 @@
+"""Tests for RR-set sampling and the maximum-coverage machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import exact_influence
+from repro.diffusion import CoverageInstance, RRSampler
+from repro.errors import AlgorithmError
+from repro.graph import InfluenceGraph
+
+from .conftest import build_graph, random_graph
+
+
+class TestRRSampler:
+    def test_rr_set_always_contains_root(self):
+        g = random_graph(15, 40, seed=0)
+        sampler = RRSampler(g, rng=0)
+        for _ in range(20):
+            root = sampler.sample_root()
+            rr = sampler.sample(root=root)
+            assert root in rr
+
+    def test_deterministic_graph_rr_is_reverse_reachability(self):
+        g = build_graph(4, [(0, 2, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        sampler = RRSampler(g, rng=0)
+        rr = sampler.sample(root=3)
+        assert sorted(rr.tolist()) == [0, 1, 2, 3]
+
+    def test_zero_probability_edges_never_cross(self):
+        g = build_graph(3, [(0, 1, 0.0001), (1, 2, 0.0001)])
+        sampler = RRSampler(g, rng=0)
+        sizes = [sampler.sample(root=2).size for _ in range(50)]
+        assert max(sizes) <= 2  # overwhelmingly just the root
+
+    def test_weighted_root_sampling(self):
+        g = InfluenceGraph.from_edges(
+            3, np.array([0]), np.array([1]), np.array([0.5]),
+            weights=np.array([1, 1, 98]),
+        )
+        sampler = RRSampler(g, rng=0)
+        roots = [sampler.sample_root() for _ in range(2000)]
+        assert np.mean(np.asarray(roots) == 2) == pytest.approx(0.98, abs=0.02)
+
+    def test_examined_edges_counter_grows(self):
+        g = random_graph(20, 60, seed=1)
+        sampler = RRSampler(g, rng=0)
+        sampler.sample_batch(10)
+        assert sampler.examined_edges > 0
+
+    def test_empty_graph_root_raises(self):
+        g = InfluenceGraph.empty(0)
+        with pytest.raises(AlgorithmError):
+            RRSampler(g, rng=0).sample_root()
+
+    def test_influence_estimate_unbiased(self):
+        """W * E[coverage of {v}] should equal Inf({v}) (Borgs et al.)."""
+        g = build_graph(4, [(0, 1, 0.6), (1, 2, 0.5), (0, 3, 0.3)])
+        exact = exact_influence(g, np.array([0]))
+        sampler = RRSampler(g, rng=3)
+        hits = sum(0 in sampler.sample() for _ in range(30_000))
+        estimate = g.n * hits / 30_000
+        assert estimate == pytest.approx(exact, rel=0.04)
+
+
+class TestCoverageInstance:
+    def _instance(self):
+        rr_sets = [
+            np.array([0, 1]),
+            np.array([1, 2]),
+            np.array([2]),
+            np.array([0, 1, 2]),
+            np.array([3]),
+        ]
+        return CoverageInstance(rr_sets, n=5)
+
+    def test_degree(self):
+        cov = self._instance()
+        assert cov.degree().tolist() == [2, 3, 3, 1, 0]
+
+    def test_sets_containing(self):
+        cov = self._instance()
+        assert sorted(cov.sets_containing(1).tolist()) == [0, 1, 3]
+
+    def test_coverage_of(self):
+        cov = self._instance()
+        assert cov.coverage_of(np.array([1])) == 3
+        assert cov.coverage_of(np.array([1, 3])) == 4
+        assert cov.coverage_of(np.array([], dtype=np.int64)) == 0
+
+    def test_greedy_two_picks(self):
+        cov = self._instance()
+        seeds, covered = cov.greedy(2)
+        # k=2 optimum is 4 sets (set 4 is only coverable by vertex 3, and
+        # covering sets 0-3 needs two of {0, 1, 2}); greedy attains it.
+        assert covered == 4
+
+    def test_greedy_three_picks_cover_everything(self):
+        cov = self._instance()
+        seeds, covered = cov.greedy(3)
+        assert covered == 5
+        assert 3 in seeds  # only vertex covering set 4
+
+    def test_greedy_never_repeats(self):
+        cov = self._instance()
+        seeds, _ = cov.greedy(4)
+        assert len(set(seeds.tolist())) == len(seeds)
+
+    def test_greedy_k_validation(self):
+        with pytest.raises(AlgorithmError):
+            self._instance().greedy(0)
+
+    def test_empty_collection(self):
+        cov = CoverageInstance([], n=3)
+        assert cov.coverage_of(np.array([0])) == 0
+        seeds, covered = cov.greedy(2)
+        assert covered == 0
+
+    def test_greedy_matches_naive_on_random_instances(self):
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            rr_sets = [
+                np.unique(rng.integers(0, 8, size=rng.integers(1, 5)))
+                for _ in range(12)
+            ]
+            cov = CoverageInstance(rr_sets, n=8)
+            seeds, covered = cov.greedy(3)
+            # naive greedy reference
+            chosen: list[int] = []
+            covered_sets: set[int] = set()
+            for _ in range(3):
+                best_v, best_gain = -1, -1
+                for v in range(8):
+                    if v in chosen:
+                        continue
+                    gain = sum(
+                        1
+                        for i, s in enumerate(rr_sets)
+                        if i not in covered_sets and v in s
+                    )
+                    if gain > best_gain:
+                        best_v, best_gain = v, gain
+                chosen.append(best_v)
+                covered_sets |= {
+                    i for i, s in enumerate(rr_sets) if best_v in s
+                }
+            assert covered == len(covered_sets)

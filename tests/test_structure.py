@@ -1,0 +1,67 @@
+"""Tests for k-core decomposition and the core–fringe split."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.structure import core_fringe_split, core_numbers
+from repro.datasets import core_fringe_graph
+
+from .conftest import build_graph, random_graph
+
+
+class TestCoreNumbers:
+    def test_path_graph_is_1_core(self):
+        g = build_graph(4, [(0, 1, 0.5), (1, 2, 0.5), (2, 3, 0.5)])
+        assert core_numbers(g).tolist() == [1, 1, 1, 1]
+
+    def test_bidirected_triangle(self):
+        edges = [(u, v, 0.5) for u in range(3) for v in range(3) if u != v]
+        g = build_graph(3, edges)
+        # each vertex has undirected multidegree 4 (two in + two out)
+        assert core_numbers(g).tolist() == [4, 4, 4]
+
+    def test_clique_with_pendant(self):
+        edges = [(u, v, 0.5) for u in range(4) for v in range(4) if u != v]
+        edges.append((0, 4, 0.5))
+        g = build_graph(5, edges)
+        numbers = core_numbers(g)
+        assert numbers[4] == 1
+        assert (numbers[:4] >= 6).all()
+
+    def test_isolated_vertices_are_0_core(self):
+        g = build_graph(3, [(0, 1, 0.5)])
+        assert core_numbers(g)[2] == 0
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        for seed in range(5):
+            raw = random_graph(25, 80, seed=seed)
+            tails, heads, _ = raw.edge_arrays()
+            # networkx core_number needs a simple graph: keep one directed
+            # edge per undirected pair so our multidegree equals nx's degree
+            pairs = sorted({
+                (min(u, v), max(u, v))
+                for u, v in zip(tails.tolist(), heads.tolist())
+            })
+            g = build_graph(raw.n, [(u, v, 0.5) for u, v in pairs])
+            nx_graph = nx.Graph()
+            nx_graph.add_nodes_from(range(raw.n))
+            nx_graph.add_edges_from(pairs)
+            expected = nx.core_number(nx_graph)
+            got = core_numbers(g)
+            assert {v: int(got[v]) for v in range(raw.n)} == expected
+
+
+class TestCoreFringeSplit:
+    def test_synthetic_core_fringe_graph_recovered(self):
+        g = core_fringe_graph(40, 200, core_out_degree=10, rng=0)
+        core, fringe = core_fringe_split(g)
+        # the generator's dense core (vertices 0..39) must land in the core
+        assert set(range(40)) <= set(core.tolist())
+        # the split is a partition
+        assert len(core) + len(fringe) == g.n
+
+    def test_explicit_threshold(self):
+        g = build_graph(4, [(0, 1, 0.5), (1, 0, 0.5), (2, 3, 0.5)])
+        core, fringe = core_fringe_split(g, k=2)
+        assert set(core.tolist()) == {0, 1}

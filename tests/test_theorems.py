@@ -1,0 +1,186 @@
+"""Validation of the paper's theorems on small graphs.
+
+Lemma 4.3 and Theorems 4.6-4.15 are checked either *exactly* (via live-edge
+enumeration on tiny graphs) or deterministically along a shared-sample
+refinement chain, so none of these tests carries statistical flake risk
+beyond fixed-seed Monte-Carlo with wide tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import exact_influence, exact_reliability, reliability_product
+from repro.core import coarsen, robust_scc_refinement_sequence
+from repro.core.result import CoarsenResult, CoarsenStats
+from repro.graph import InfluenceGraph
+from repro.partition import Partition
+
+from .conftest import build_graph, random_graph
+
+
+def tiny_graph(seed: int, n: int = 6, m: int = 10) -> InfluenceGraph:
+    """Random tiny graph with a guaranteed reciprocated pair (0 <-> 1)."""
+    g = random_graph(n, m - 2, seed=seed, p_low=0.2, p_high=0.9)
+    tails, heads, probs = g.edge_arrays()
+    from repro.graph import GraphBuilder
+
+    builder = GraphBuilder(n=n)
+    builder.add_edges(tails, heads, probs)
+    builder.add_edges([0, 1], [1, 0], [0.6, 0.7])
+    return builder.build()
+
+
+def coarsen_by_blocks(graph, blocks):
+    partition = Partition.from_blocks(blocks, graph.n)
+    coarse, pi = coarsen(graph, partition)
+    return coarse, pi, partition
+
+
+class TestLemma43:
+    """Inf_I(S) == Inf_H(pi(S)) where I contracts intra-block probs to 1."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_intermediate_graph_equivalence(self, seed):
+        g = tiny_graph(seed)
+        # pick a random SC-in-deterministic-graph pair to merge: use a
+        # reciprocated pair if one exists, else skip
+        tails, heads, probs = g.edge_arrays()
+        pairs = set(zip(tails.tolist(), heads.tolist()))
+        recip = [(u, v) for (u, v) in pairs if (v, u) in pairs and u < v]
+        if not recip:
+            pytest.skip("no reciprocated pair in this sample")
+        u, v = recip[0]
+        blocks = [[u, v]] + [[w] for w in range(g.n) if w not in (u, v)]
+        coarse, pi, partition = coarsen_by_blocks(g, blocks)
+
+        # intermediate graph I: same structure, intra-block probs = 1
+        new_probs = probs.copy()
+        intra = (pi[tails] == pi[heads])
+        new_probs[intra] = 1.0
+        intermediate = g.with_probabilities(new_probs)
+
+        for s in range(g.n):
+            inf_i = exact_influence(intermediate, np.array([s]))
+            inf_h = exact_influence(coarse, np.unique(pi[np.array([s])]))
+            assert inf_i == pytest.approx(inf_h, abs=1e-9)
+
+
+class TestTheorem46:
+    """Inf_G <= Inf_H(pi(.)) <= Inf_G / prod Rel(G[C_j]) — exactly."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sandwich_bounds(self, seed):
+        g = tiny_graph(seed)
+        tails, heads, _ = g.edge_arrays()
+        pairs = set(zip(tails.tolist(), heads.tolist()))
+        recip = [(u, v) for (u, v) in pairs if (v, u) in pairs and u < v]
+        if not recip:
+            pytest.skip("no reciprocated pair in this sample")
+        u, v = recip[0]
+        blocks = [[u, v]] + [[w] for w in range(g.n) if w not in (u, v)]
+        coarse, pi, partition = coarsen_by_blocks(g, blocks)
+        rel = reliability_product(g, partition, exact_edge_limit=16, rng=0)
+        for s in range(g.n):
+            inf_g = exact_influence(g, np.array([s]))
+            inf_h = exact_influence(coarse, np.unique(pi[np.array([s])]))
+            assert inf_h >= inf_g - 1e-9
+            assert inf_h <= inf_g / rel + 1e-9
+
+
+class TestTheorem47and48:
+    """Coarser partition => smaller graph and larger influence."""
+
+    def test_size_monotonicity(self, paper_graph):
+        fine = Partition.from_blocks(
+            [[0, 1, 2], [3], [4, 5], [6], [7], [8]], 9
+        )
+        coarse_p = Partition.from_blocks(
+            [[0, 1, 2], [3], [4, 5], [6], [7, 8]], 9
+        )
+        assert fine.is_refinement_of(coarse_p)
+        h_fine, _ = coarsen(paper_graph, fine)
+        h_coarse, _ = coarsen(paper_graph, coarse_p)
+        assert h_fine.n >= h_coarse.n
+        assert h_fine.m >= h_coarse.m
+
+    def test_influence_monotonicity_exact(self, paper_graph):
+        fine = Partition.from_blocks(
+            [[0, 1, 2], [3], [4], [5], [6], [7], [8]], 9
+        )
+        coarse_p = Partition.from_blocks(
+            [[0, 1, 2], [3], [4, 5], [6], [7, 8]], 9
+        )
+        h1, pi1 = coarsen(paper_graph, fine)
+        h2, pi2 = coarsen(paper_graph, coarse_p)
+        for s in range(9):
+            inf1 = exact_influence(h1, np.unique(pi1[np.array([s])]))
+            inf2 = exact_influence(h2, np.unique(pi2[np.array([s])]))
+            assert inf1 <= inf2 + 1e-9
+
+    def test_singleton_partition_recovers_exact_influence(self, paper_graph):
+        h, pi = coarsen(paper_graph, Partition.singletons(9))
+        for s in (0, 4, 8):
+            assert exact_influence(h, np.array([pi[s]])) == pytest.approx(
+                exact_influence(paper_graph, np.array([s]))
+            )
+
+
+class TestTheorem414and415:
+    """Monotonicity in r along a shared-sample chain."""
+
+    def test_sizes_non_decreasing_in_r(self, two_cliques_graph):
+        chain = robust_scc_refinement_sequence(two_cliques_graph, 10, rng=0)
+        graphs = [coarsen(two_cliques_graph, p)[0] for p in chain]
+        ns = [h.n for h in graphs]
+        ms = [h.m for h in graphs]
+        assert ns == sorted(ns)
+        assert ms == sorted(ms)
+        assert ns[-1] <= two_cliques_graph.n
+        assert ms[-1] <= two_cliques_graph.m
+
+    def test_influence_non_increasing_in_r(self, two_cliques_graph):
+        chain = robust_scc_refinement_sequence(two_cliques_graph, 6, rng=0)
+        seeds = np.array([0])
+        values = []
+        for p in chain:
+            h, pi = coarsen(two_cliques_graph, p)
+            values.append(exact_influence(h, np.unique(pi[seeds])))
+        for earlier, later in zip(values, values[1:]):
+            assert later <= earlier + 1e-9
+        # Lower bound against G via Monte Carlo (G has too many edges to
+        # enumerate exactly): coarse influence never drops below Inf_G.
+        from repro.diffusion import estimate_influence
+
+        inf_g = estimate_influence(two_cliques_graph, seeds, 20_000, rng=1)
+        assert values[-1] >= inf_g * 0.97
+
+
+class TestTheorem412:
+    """Pr[V' inside some r-robust SCC] >= Rel(G[V'])^r."""
+
+    def test_containment_probability_bound(self, paper_graph):
+        from repro.core import robust_scc_partition
+
+        sub = paper_graph.induced_subgraph(np.array([0, 1, 2]))
+        rel = exact_reliability(sub)
+        r = 2
+        rng = np.random.default_rng(0)
+        trials, hits = 300, 0
+        for _ in range(trials):
+            p = robust_scc_partition(paper_graph, r, rng=rng)
+            labels = p.labels
+            if labels[0] == labels[1] == labels[2]:
+                hits += 1
+        bound = rel ** r
+        # allow 5 sigma of binomial noise below the bound
+        sigma = (bound * (1 - bound) / trials) ** 0.5
+        assert hits / trials >= bound - 5 * sigma
+
+
+class TestPaperWorkedNumbers:
+    def test_rel_of_c1_regression_anchor(self, paper_graph):
+        """Exact Rel of the fixture's C1 triangle (paper's own figure labels
+        are not fully specified in the text; 0.432 is our fixture's exact
+        value, playing the role of the paper's 0.88848)."""
+        sub = paper_graph.induced_subgraph(np.array([0, 1, 2]))
+        assert exact_reliability(sub) == pytest.approx(0.432, abs=1e-9)

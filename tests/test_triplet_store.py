@@ -1,0 +1,104 @@
+"""Unit tests for the on-disk edge stores."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.storage import PairStore, TripletStore
+
+from .conftest import build_graph, random_graph
+
+
+class TestTripletStore:
+    def test_round_trip_graph(self, tmp_path):
+        g = random_graph(20, 60, seed=1)
+        store = TripletStore.from_graph(g, tmp_path / "g.trip")
+        assert store.n == g.n
+        assert store.m == g.m
+        assert store.to_graph() == g
+
+    def test_reopen_preserves_header(self, tmp_path):
+        g = build_graph(3, [(0, 1, 0.5), (1, 2, 0.25)])
+        path = tmp_path / "g.trip"
+        TripletStore.from_graph(g, path)
+        store = TripletStore.open(path)
+        assert (store.n, store.m) == (3, 2)
+        assert store.to_graph() == g
+
+    def test_chunked_iteration_covers_all_edges(self, tmp_path):
+        g = random_graph(30, 200, seed=2)
+        store = TripletStore.from_graph(g, tmp_path / "g.trip", chunk_edges=7)
+        seen = 0
+        for tails, heads, probs in store.iter_chunks(chunk_edges=13):
+            assert tails.size == heads.size == probs.size
+            assert tails.size <= 13
+            seen += tails.size
+        assert seen == g.m
+
+    def test_append_accumulates(self, tmp_path):
+        store = TripletStore.create(tmp_path / "a.trip", n=5)
+        store.append(np.array([0]), np.array([1]), np.array([0.5]))
+        store.append(np.array([1, 2]), np.array([2, 3]), np.array([0.5, 0.5]))
+        assert store.m == 3
+        tails, heads, probs = store.read_all()
+        assert tails.tolist() == [0, 1, 2]
+
+    def test_io_counters(self, tmp_path):
+        g = random_graph(10, 30, seed=3)
+        store = TripletStore.from_graph(g, tmp_path / "g.trip")
+        assert store.bytes_written > 0
+        list(store.iter_chunks())
+        assert store.bytes_read >= store.bytes_written
+
+    def test_empty_store(self, tmp_path):
+        store = TripletStore.create(tmp_path / "e.trip", n=4)
+        assert store.m == 0
+        tails, heads, probs = store.read_all()
+        assert tails.size == 0
+        assert list(store.iter_chunks()) == []
+
+    def test_rejects_missing_probs(self, tmp_path):
+        store = TripletStore.create(tmp_path / "x.trip", n=2)
+        with pytest.raises(GraphFormatError):
+            store.append(np.array([0]), np.array([1]))
+
+    def test_rejects_wrong_store_kind(self, tmp_path):
+        path = tmp_path / "p.pairs"
+        PairStore.create(path, n=2)
+        with pytest.raises(GraphFormatError, match="layout"):
+            TripletStore.open(path)
+
+    def test_rejects_garbage_file(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"not a store at all....")
+        with pytest.raises(GraphFormatError):
+            TripletStore.open(path)
+
+    def test_rejects_truncated_header(self, tmp_path):
+        path = tmp_path / "trunc"
+        path.write_bytes(b"RP")
+        with pytest.raises(GraphFormatError, match="truncated"):
+            TripletStore.open(path)
+
+    def test_delete_removes_file(self, tmp_path):
+        path = tmp_path / "d.trip"
+        store = TripletStore.create(path, n=1)
+        store.delete()
+        assert not path.exists()
+        store.delete()  # idempotent
+
+
+class TestPairStore:
+    def test_round_trip(self, tmp_path):
+        store = PairStore.create(tmp_path / "p.pairs", n=4)
+        store.append(np.array([0, 1, 2]), np.array([1, 2, 3]))
+        tails, heads = store.read_all()
+        assert tails.tolist() == [0, 1, 2]
+        assert heads.tolist() == [1, 2, 3]
+
+    def test_chunk_iteration(self, tmp_path):
+        store = PairStore.create(tmp_path / "p.pairs", n=100)
+        store.append(np.arange(99), np.arange(1, 100))
+        chunks = list(store.iter_chunks(chunk_edges=10))
+        assert len(chunks) == 10
+        assert sum(c[0].size for c in chunks) == 99

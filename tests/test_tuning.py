@@ -1,0 +1,37 @@
+"""Tests for the r-sweep tuning helper."""
+
+import pytest
+
+from repro.core import r_sweep
+from repro.errors import AlgorithmError
+
+
+class TestRSweep:
+    def test_monotone_sizes(self, two_cliques_graph):
+        points = r_sweep(two_cliques_graph, (1, 2, 4, 8), rng=0)
+        edges = [p.coarse_edges for p in points]
+        vertices = [p.coarse_vertices for p in points]
+        assert edges == sorted(edges)
+        assert vertices == sorted(vertices)
+
+    def test_ratios_bounded(self, paper_graph):
+        for p in r_sweep(paper_graph, (1, 4), rng=0):
+            assert 0 < p.vertex_ratio <= 1.0
+            assert 0 <= p.edge_ratio <= 1.0
+
+    def test_duplicates_and_order_normalised(self, paper_graph):
+        points = r_sweep(paper_graph, (4, 1, 4), rng=0)
+        assert [p.r for p in points] == [1, 4]
+
+    def test_deterministic(self, two_cliques_graph):
+        a = r_sweep(two_cliques_graph, (2, 8), rng=5)
+        b = r_sweep(two_cliques_graph, (2, 8), rng=5)
+        assert [(p.r, p.coarse_edges) for p in a] == [
+            (p.r, p.coarse_edges) for p in b
+        ]
+
+    def test_rejects_bad_input(self, paper_graph):
+        with pytest.raises(AlgorithmError):
+            r_sweep(paper_graph, ())
+        with pytest.raises(AlgorithmError):
+            r_sweep(paper_graph, (0, 2))
