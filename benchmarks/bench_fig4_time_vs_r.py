@@ -1,6 +1,11 @@
 """Figure 4 — run time of both implementations versus r (EXP).
 
 Paper shape: run time of both implementations scales linearly in r.
+
+Every Alg.1 run executes under an in-memory tracer, so alongside the
+figure the benchmark prints a per-stage (sample/scc/meet/contract) time
+table sourced from the spans — the attribution any optimization PR must
+quote before and after.
 """
 
 from __future__ import annotations
@@ -11,7 +16,15 @@ import time
 
 import numpy as np
 
-from repro.bench import ascii_plot, render_series, save_json
+from repro.bench import (
+    aggregate_spans,
+    ascii_plot,
+    COARSEN_STAGES,
+    render_series,
+    render_stage_table,
+    run_traced,
+    save_json,
+)
 from repro.core import coarsen_influence_graph, coarsen_influence_graph_sublinear
 from repro.datasets import load_dataset
 from repro.storage import TripletStore
@@ -26,10 +39,12 @@ def generate() -> dict:
     graph = load_dataset(DATASET, "exp", seed=0)
     linear_times = []
     sublinear_times = []
+    stage_rows = []
     for r in R_VALUES:
         t0 = time.perf_counter()
-        coarsen_influence_graph(graph, r=r, rng=0)
+        _, spans = run_traced(lambda: coarsen_influence_graph(graph, r=r, rng=0))
         linear_times.append(time.perf_counter() - t0)
+        stage_rows.append((f"r={r}", aggregate_spans(spans, COARSEN_STAGES)))
         with tempfile.TemporaryDirectory() as workdir:
             src = TripletStore.from_graph(graph, os.path.join(workdir, "g.trip"))
             t0 = time.perf_counter()
@@ -43,6 +58,10 @@ def generate() -> dict:
         "r": list(R_VALUES),
         "linear_seconds": linear_times,
         "sublinear_seconds": sublinear_times,
+        "stage_seconds": {
+            label: {s: agg[s]["seconds"] for s in agg}
+            for label, agg in stage_rows
+        },
     }
     print(render_series(
         f"Figure 4: run time vs r on {DATASET} (EXP)",
@@ -57,6 +76,10 @@ def generate() -> dict:
         list(R_VALUES),
         {"Alg.1": linear_times, "Alg.2": sublinear_times},
         title="run time (s) vs r", log_x=True,
+    ))
+    print()
+    print(render_stage_table(
+        f"Alg.1 per-stage time on {DATASET} (from tracer spans)", stage_rows,
     ))
     save_json(raw, results_path("fig4.json"))
     return raw

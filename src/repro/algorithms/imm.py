@@ -26,6 +26,7 @@ from ..core.frameworks import MaximizationResult
 from ..diffusion.rr_sets import CoverageInstance, RRSampler
 from ..errors import AlgorithmError
 from ..graph.influence_graph import InfluenceGraph
+from ..obs import inc, span
 from ..rng import ensure_rng
 from .ris import log_binomial
 
@@ -85,39 +86,48 @@ class IMMMaximizer:
         lb = w_total / n  # trivial lower bound: any single vertex's weight
         capped = False
         max_rounds = max(1, int(math.ceil(math.log2(n))) - 1)
-        for i in range(1, max_rounds + 1):
-            x = w_total / (2.0 ** i)
-            lambda_prime = (
-                (2.0 + 2.0 * eps_prime / 3.0)
-                * (log_nk + l * ln_n + math.log(max(math.log2(n), 1.0)))
-                * w_total
-                / (eps_prime ** 2)
-            )
-            theta_i = int(math.ceil(lambda_prime / x))
-            capped = ensure_sets(theta_i) or capped
-            coverage = CoverageInstance(rr_sets[: min(theta_i, len(rr_sets))], n)
-            _, covered = coverage.greedy(k)
-            estimate = w_total * covered / coverage.n_sets
-            if estimate >= (1.0 + eps_prime) * x:
-                lb = estimate / (1.0 + eps_prime)
-                break
+        with span("imm_sampling", k=k, n=n):
+            for i in range(1, max_rounds + 1):
+                x = w_total / (2.0 ** i)
+                lambda_prime = (
+                    (2.0 + 2.0 * eps_prime / 3.0)
+                    * (log_nk + l * ln_n + math.log(max(math.log2(n), 1.0)))
+                    * w_total
+                    / (eps_prime ** 2)
+                )
+                theta_i = int(math.ceil(lambda_prime / x))
+                capped = ensure_sets(theta_i) or capped
+                coverage = CoverageInstance(
+                    rr_sets[: min(theta_i, len(rr_sets))], n
+                )
+                _, covered = coverage.greedy(k)
+                estimate = w_total * covered / coverage.n_sets
+                if estimate >= (1.0 + eps_prime) * x:
+                    lb = estimate / (1.0 + eps_prime)
+                    break
 
-        # ---- Phase 2: final sketch budget from LB ----
-        alpha = math.sqrt(l * ln_n + math.log(2.0))
-        beta = math.sqrt((1.0 - 1.0 / math.e) * (log_nk + l * ln_n + math.log(2.0)))
-        lambda_star = (
-            2.0 * w_total * ((1.0 - 1.0 / math.e) * alpha + beta) ** 2 / (eps ** 2)
-        )
-        theta = int(math.ceil(lambda_star / lb))
-        capped = ensure_sets(theta) or capped
+            # ---- Phase 2: final sketch budget from LB ----
+            alpha = math.sqrt(l * ln_n + math.log(2.0))
+            beta = math.sqrt(
+                (1.0 - 1.0 / math.e) * (log_nk + l * ln_n + math.log(2.0))
+            )
+            lambda_star = (
+                2.0 * w_total * ((1.0 - 1.0 / math.e) * alpha + beta) ** 2
+                / (eps ** 2)
+            )
+            theta = int(math.ceil(lambda_star / lb))
+            capped = ensure_sets(theta) or capped
         if capped and not self.allow_cap:
             raise AlgorithmError(
                 f"IMM sketch budget exceeded max_sets={self.max_sets}"
             )
         used = min(theta, len(rr_sets))
-        coverage = CoverageInstance(rr_sets[:used], n)
-        seeds, covered = coverage.greedy(k)
+        with span("imm_selection", k=k, rr_sets=used):
+            coverage = CoverageInstance(rr_sets[:used], n)
+            seeds, covered = coverage.greedy(k)
         self.examined_edges += sampler.examined_edges
+        inc("imm.rr_sets", used)
+        inc("imm.examined_edges", sampler.examined_edges)
         return MaximizationResult(
             seeds=seeds,
             estimated_influence=w_total * covered / used,

@@ -17,6 +17,7 @@ from ..core.frameworks import MaximizationResult
 from ..diffusion.rr_sets import CoverageInstance, RRSampler
 from ..errors import AlgorithmError
 from ..graph.influence_graph import InfluenceGraph
+from ..obs import inc, span
 from ..rng import ensure_rng
 
 __all__ = ["RISMaximizer", "log_binomial"]
@@ -56,10 +57,14 @@ class RISMaximizer:
         if not 0 < k <= graph.n:
             raise AlgorithmError("k must lie in [1, n]")
         sampler = RRSampler(graph, rng=self._rng, model=self.model)
-        rr_sets = sampler.sample_batch(self.n_sets)
-        coverage = CoverageInstance(rr_sets, graph.n)
-        seeds, covered = coverage.greedy(k)
+        with span("ris_sampling", n_sets=self.n_sets, n=graph.n):
+            rr_sets = sampler.sample_batch(self.n_sets)
+        with span("ris_selection", k=k, n_sets=self.n_sets):
+            coverage = CoverageInstance(rr_sets, graph.n)
+            seeds, covered = coverage.greedy(k)
         self.examined_edges += sampler.examined_edges
+        inc("ris.rr_sets", self.n_sets)
+        inc("ris.examined_edges", sampler.examined_edges)
         estimate = sampler.total_weight * covered / self.n_sets
         return MaximizationResult(
             seeds=seeds,

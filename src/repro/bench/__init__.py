@@ -1,7 +1,16 @@
 """Benchmark harness: measurement, resource budgets, table rendering."""
 
 from .ascii_plot import ascii_plot
-from .harness import Budget, RunOutcome, format_seconds, run_budgeted
+from .harness import (
+    COARSEN_STAGES,
+    Budget,
+    RunOutcome,
+    aggregate_spans,
+    format_seconds,
+    render_stage_table,
+    run_budgeted,
+    run_traced,
+)
 from .memory import MeasuredRun, measure
 from .tables import render_series, render_table, save_json
 
@@ -10,6 +19,10 @@ __all__ = [
     "Budget",
     "RunOutcome",
     "run_budgeted",
+    "run_traced",
+    "aggregate_spans",
+    "render_stage_table",
+    "COARSEN_STAGES",
     "format_seconds",
     "measure",
     "MeasuredRun",

@@ -15,11 +15,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
+from ..obs import ListSink, Tracer, use_tracer
+from ..obs.stages import STAGE_CONTRACT, STAGE_MEET, STAGE_SAMPLE, STAGE_SCC
 from .memory import MeasuredRun, measure
 
-__all__ = ["Budget", "RunOutcome", "run_budgeted"]
+__all__ = [
+    "Budget",
+    "RunOutcome",
+    "run_budgeted",
+    "run_traced",
+    "aggregate_spans",
+    "render_stage_table",
+    "COARSEN_STAGES",
+]
+
+COARSEN_STAGES = (STAGE_SAMPLE, STAGE_SCC, STAGE_MEET, STAGE_CONTRACT)
 
 
 @dataclass
@@ -106,3 +118,72 @@ def run_budgeted(
         if budget.max_seconds is not None and run.seconds > budget.max_seconds:
             return RunOutcome(status="timeout", run=run)
     return RunOutcome(status="ok", run=run)
+
+
+def run_traced(fn: Callable[[], Any]) -> tuple[Any, list[dict]]:
+    """Run ``fn`` under an in-memory tracer; returns (result, span records).
+
+    The records follow the JSONL trace schema (``repro.obs.validate_record``)
+    and are the input to :func:`aggregate_spans` /
+    :func:`render_stage_table` — this is how benchmarks attribute wall time
+    to pipeline stages without re-instrumenting anything.
+    """
+    sink = ListSink()
+    tracer = Tracer(sink)
+    try:
+        with use_tracer(tracer):
+            result = fn()
+    finally:
+        tracer.close()
+    return result, sink.records
+
+
+def aggregate_spans(
+    records: Sequence[dict], names: "Sequence[str] | None" = None
+) -> dict[str, dict]:
+    """Sum span durations by name: ``{name: {"count": n, "seconds": s}}``.
+
+    Nested spans each contribute their own wall time, so only aggregate
+    sibling names together (e.g. the four ``COARSEN_STAGES``, which never
+    nest within one another).
+    """
+    agg: dict[str, dict] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        name = record["name"]
+        if names is not None and name not in names:
+            continue
+        entry = agg.setdefault(name, {"count": 0, "seconds": 0.0})
+        entry["count"] += 1
+        entry["seconds"] += record["seconds"]
+    return agg
+
+
+def render_stage_table(
+    title: str,
+    rows: Sequence[tuple[Any, dict[str, dict]]],
+    stages: Sequence[str] = COARSEN_STAGES,
+) -> str:
+    """Render per-stage time columns for a list of (label, aggregate) rows.
+
+    ``rows`` pairs a run label (e.g. an ``r`` value) with the output of
+    :func:`aggregate_spans`; stages absent from a run render as ``-``.
+    """
+    from .tables import render_table
+
+    headers = ["run", *stages, "total"]
+    body = []
+    for label, agg in rows:
+        cells: list[str] = [label]
+        total = 0.0
+        for stage in stages:
+            entry = agg.get(stage)
+            if entry is None:
+                cells.append("-")
+            else:
+                cells.append(format_seconds(entry["seconds"]))
+                total += entry["seconds"]
+        cells.append(format_seconds(total))
+        body.append(cells)
+    return render_table(title, headers, body)

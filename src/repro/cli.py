@@ -15,11 +15,13 @@ Graphs are given either as an edge-list path (``u v [p]`` per line) or as
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 
 import numpy as np
 
+from . import obs
 from .algorithms import (
     CELFMaximizer,
     DegreeHeuristic,
@@ -79,6 +81,18 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
                         help="flip edge-list edges (web-graph convention)")
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a JSONL span trace of the run to PATH "
+                             "(schema: docs/observability.md)")
+    parser.add_argument("--trace-rss", action="store_true",
+                        help="also record peak-RSS deltas per span "
+                             "(implies nothing without --trace)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="collect counters/timers during the run and "
+                             "print a metrics report on exit")
+
+
 def _parse_seeds(text: str, n: int) -> np.ndarray:
     try:
         seeds = np.asarray([int(s) for s in text.split(",") if s], dtype=np.int64)
@@ -123,6 +137,8 @@ def _cmd_coarsen(args: argparse.Namespace) -> int:
     result = coarsen_influence_graph(graph, r=args.r, rng=args.seed)
     stats = result.stats
     print(f"coarsened in {stats.total_seconds:.2f} s (r={args.r})")
+    if stats.stage_seconds:
+        print(stats.stage_summary())
     print(f"|W| = {stats.output_vertices:,} "
           f"({stats.vertex_reduction_ratio:.1%} of |V|)")
     print(f"|F| = {stats.output_edges:,} "
@@ -198,9 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="print graph statistics")
     _add_graph_arguments(p_info)
+    _add_obs_arguments(p_info)
 
     p_coarsen = sub.add_parser("coarsen", help="coarsen a graph (Algorithm 1)")
     _add_graph_arguments(p_coarsen)
+    _add_obs_arguments(p_coarsen)
     p_coarsen.add_argument("-r", type=int, default=16,
                            help="robustness parameter (default 16)")
     p_coarsen.add_argument("--seed", type=int, default=0)
@@ -213,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_est = sub.add_parser("estimate",
                            help="estimate influence of a seed set (Algorithm 3)")
     _add_graph_arguments(p_est)
+    _add_obs_arguments(p_est)
     p_est.add_argument("--seeds", required=True,
                        help="comma-separated vertex ids")
     p_est.add_argument("--simulations", type=int, default=10_000)
@@ -224,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_max = sub.add_parser("maximize",
                            help="select an influential seed set (Algorithm 4)")
     _add_graph_arguments(p_max)
+    _add_obs_arguments(p_max)
     p_max.add_argument("-k", type=int, required=True, help="seed-set size")
     p_max.add_argument("--algorithm", choices=sorted(_MAXIMIZERS),
                        default="dssa")
@@ -255,8 +275,26 @@ _COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    try:
-        return _COMMANDS[args.command](args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    registry = None
+    with contextlib.ExitStack() as stack:
+        if getattr(args, "trace", None):
+            try:
+                stack.enter_context(
+                    obs.trace_to(args.trace, rss=getattr(args, "trace_rss", False))
+                )
+            except OSError as exc:
+                print(f"error: cannot open trace file: {exc}", file=sys.stderr)
+                return 2
+        if getattr(args, "metrics", False):
+            registry = obs.MetricsRegistry()
+            stack.enter_context(obs.use_metrics(registry))
+        try:
+            code = _COMMANDS[args.command](args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if getattr(args, "trace", None):
+        print(f"trace -> {args.trace}")
+    if registry is not None:
+        print(registry.render())
+    return code

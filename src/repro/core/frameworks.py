@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import AlgorithmError
 from ..graph.influence_graph import InfluenceGraph
+from ..obs import inc, span, timed
 from ..rng import ensure_rng
 from .result import CoarsenResult
 
@@ -78,8 +79,13 @@ def estimate_on_coarse(
     seeds = np.asarray(seeds, dtype=np.int64)
     if seeds.size == 0:
         raise AlgorithmError("seed set must be non-empty")
-    coarse_seeds = result.map_seeds(seeds)
-    return estimator.estimate(result.coarse, coarse_seeds)
+    with span("estimate_on_coarse", seeds=int(seeds.size),
+              coarse_n=result.coarse.n):
+        with timed("framework.estimate_seconds"):
+            coarse_seeds = result.map_seeds(seeds)
+            value = estimator.estimate(result.coarse, coarse_seeds)
+    inc("framework.estimates")
+    return value
 
 
 def maximize_on_coarse(
@@ -96,8 +102,11 @@ def maximize_on_coarse(
     if k <= 0:
         raise AlgorithmError("k must be positive")
     rng = ensure_rng(rng)
-    coarse_result = maximizer.select(result.coarse, k)
-    seeds = result.pull_back(coarse_result.seeds, rng=rng)
+    with span("maximize_on_coarse", k=k, coarse_n=result.coarse.n):
+        with timed("framework.maximize_seconds"):
+            coarse_result = maximizer.select(result.coarse, k)
+            seeds = result.pull_back(coarse_result.seeds, rng=rng)
+    inc("framework.maximizations")
     return MaximizationResult(
         seeds=seeds,
         estimated_influence=coarse_result.estimated_influence,

@@ -13,6 +13,7 @@ import time
 import numpy as np
 
 from ..graph.influence_graph import InfluenceGraph
+from ..obs import STAGE_CONTRACT, StageTimes, inc, span
 from .coarsen import coarsen
 from .result import CoarsenResult, CoarsenStats
 from .robust_scc import robust_scc_partition
@@ -50,11 +51,19 @@ def coarsen_influence_graph(
     CoarsenResult
         ``H``, the mapping ``pi``, the partition, and run statistics.
     """
-    t0 = time.perf_counter()
-    partition = robust_scc_partition(graph, r, rng=rng, scc_backend=scc_backend)
-    t1 = time.perf_counter()
-    coarse, pi = coarsen(graph, partition, validate=validate)
-    t2 = time.perf_counter()
+    stages = StageTimes()
+    with span("coarsen_linear", r=r, n=graph.n, m=graph.m,
+              backend=scc_backend):
+        t0 = time.perf_counter()
+        partition = robust_scc_partition(
+            graph, r, rng=rng, scc_backend=scc_backend, stages=stages
+        )
+        t1 = time.perf_counter()
+        with stages.stage(STAGE_CONTRACT):
+            coarse, pi = coarsen(graph, partition, validate=validate)
+        t2 = time.perf_counter()
+    inc("coarsen.runs")
+    inc("coarsen.samples", r)
     stats = CoarsenStats(
         r=r,
         first_stage_seconds=t1 - t0,
@@ -63,5 +72,6 @@ def coarsen_influence_graph(
         input_edges=graph.m,
         output_vertices=coarse.n,
         output_edges=coarse.m,
+        stage_seconds=stages.as_dict(),
     )
     return CoarsenResult(coarse=coarse, pi=pi, partition=partition, stats=stats)

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..errors import AlgorithmError
 from ..graph.influence_graph import InfluenceGraph
+from ..obs import STAGE_CONTRACT, STAGE_MEET, StageTimes, inc, span
 from ..partition.partition import Partition
 from ..rng import spawn_rngs
 from .coarsen import coarsen
@@ -67,35 +68,43 @@ def coarsen_influence_graph_parallel(
     """
     if executor not in _EXECUTORS:
         raise AlgorithmError(f"executor must be one of {_EXECUTORS}")
-    t0 = time.perf_counter()
-    rounds = split_rounds(r, workers)
-    child_rngs = spawn_rngs(rng, workers)
-    seeds = [int(c.integers(0, 2**62)) for c in child_rngs]
+    stages = StageTimes()
+    with span("coarsen_parallel", r=r, workers=workers, executor=executor,
+              n=graph.n, m=graph.m):
+        t0 = time.perf_counter()
+        rounds = split_rounds(r, workers)
+        child_rngs = spawn_rngs(rng, workers)
+        seeds = [int(c.integers(0, 2**62)) for c in child_rngs]
 
-    if executor == "serial":
-        label_arrays = [
-            _worker(graph, r_t, seed, scc_backend)
-            for r_t, seed in zip(rounds, seeds)
-        ]
-    else:
-        pool_cls = (
-            concurrent.futures.ThreadPoolExecutor
-            if executor == "thread"
-            else concurrent.futures.ProcessPoolExecutor
-        )
-        with pool_cls(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_worker, graph, r_t, seed, scc_backend)
-                for r_t, seed in zip(rounds, seeds)
-            ]
-            label_arrays = [f.result() for f in futures]
+        with span("parallel_partition_build", workers=workers):
+            if executor == "serial":
+                label_arrays = [
+                    _worker(graph, r_t, seed, scc_backend)
+                    for r_t, seed in zip(rounds, seeds)
+                ]
+            else:
+                pool_cls = (
+                    concurrent.futures.ThreadPoolExecutor
+                    if executor == "thread"
+                    else concurrent.futures.ProcessPoolExecutor
+                )
+                with pool_cls(max_workers=workers) as pool:
+                    futures = [
+                        pool.submit(_worker, graph, r_t, seed, scc_backend)
+                        for r_t, seed in zip(rounds, seeds)
+                    ]
+                    label_arrays = [f.result() for f in futures]
 
-    partitions = [Partition(labels) for labels in label_arrays]
-    partition = reduce(lambda a, b: a.meet(b), partitions)
-    t1 = time.perf_counter()
+        with stages.stage(STAGE_MEET, workers=workers):
+            partitions = [Partition(labels) for labels in label_arrays]
+            partition = reduce(lambda a, b: a.meet(b), partitions)
+        t1 = time.perf_counter()
 
-    coarse, pi = coarsen(graph, partition)
-    t2 = time.perf_counter()
+        with stages.stage(STAGE_CONTRACT):
+            coarse, pi = coarsen(graph, partition)
+        t2 = time.perf_counter()
+    inc("coarsen.runs")
+    inc("coarsen.samples", r)
     stats = CoarsenStats(
         r=r,
         first_stage_seconds=t1 - t0,
@@ -104,6 +113,7 @@ def coarsen_influence_graph_parallel(
         input_edges=graph.m,
         output_vertices=coarse.n,
         output_edges=coarse.m,
+        stage_seconds=stages.as_dict(),
         extras={"workers": workers, "executor": executor, "rounds": rounds},
     )
     return CoarsenResult(coarse=coarse, pi=pi, partition=partition, stats=stats)

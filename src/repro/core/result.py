@@ -16,7 +16,14 @@ __all__ = ["CoarsenResult", "CoarsenStats"]
 
 @dataclass
 class CoarsenStats:
-    """Timing/size observability for a coarsening run."""
+    """Timing/size observability for a coarsening run.
+
+    ``stage_seconds`` is the per-stage wall-time breakdown accumulated by
+    :class:`repro.obs.StageTimes` — canonical keys are ``sample``, ``scc``,
+    ``meet`` and ``contract`` (see ``docs/observability.md``); the three
+    first-stage keys sum to ≈ ``first_stage_seconds`` and ``contract`` to
+    ≈ ``second_stage_seconds``, modulo loop overhead.
+    """
 
     r: int = 0
     first_stage_seconds: float = 0.0
@@ -25,11 +32,20 @@ class CoarsenStats:
     input_edges: int = 0
     output_vertices: int = 0
     output_edges: int = 0
+    stage_seconds: dict = field(default_factory=dict)
     extras: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
         return self.first_stage_seconds + self.second_stage_seconds
+
+    def stage_summary(self) -> str:
+        """One-line ``stage time`` report (empty string when no breakdown)."""
+        if not self.stage_seconds:
+            return ""
+        parts = [f"{name} {secs:.3f} s"
+                 for name, secs in self.stage_seconds.items()]
+        return "stages: " + " | ".join(parts)
 
     @property
     def vertex_reduction_ratio(self) -> float:

@@ -18,6 +18,7 @@ import numpy as np
 from ..diffusion.live_edge import sample_live_edge_csr
 from ..errors import AlgorithmError
 from ..graph.influence_graph import InfluenceGraph
+from ..obs import STAGE_MEET, STAGE_SAMPLE, STAGE_SCC, StageTimes, span
 from ..partition.partition import Partition
 from ..rng import ensure_rng
 from ..scc import scc_labels
@@ -31,6 +32,7 @@ def robust_scc_partition(
     rng=None,
     scc_backend: str = "tarjan",
     keep_samples: bool = False,
+    stages: "StageTimes | None" = None,
 ) -> "Partition | tuple[Partition, list[tuple[np.ndarray, np.ndarray]]]":
     """The partition of all r-robust SCCs w.r.t. ``r`` fresh live-edge samples.
 
@@ -50,23 +52,34 @@ def robust_scc_partition(
         Also return the sampled ``(indptr, heads)`` CSRs — needed by the
         dynamic-update module and by invariant tests.  Costs O(r * m) memory,
         so leave off in production runs.
+    stages:
+        Optional :class:`~repro.obs.StageTimes` accumulating the
+        ``sample``/``scc``/``meet`` wall-time breakdown (one is created
+        internally when omitted, so tracer spans are emitted either way).
     """
     if r < 0:
         raise AlgorithmError("r must be non-negative")
     rng = ensure_rng(rng)
+    if stages is None:
+        stages = StageTimes()
     partition = Partition.trivial(graph.n)
     samples: list[tuple[np.ndarray, np.ndarray]] = []
-    for _ in range(r):
-        indptr, heads = sample_live_edge_csr(graph, rng)
-        labels = scc_labels(indptr, heads, backend=scc_backend)
-        partition = partition.meet(Partition(labels, canonical=False))
-        if keep_samples:
-            samples.append((indptr, heads))
-        if partition.n_blocks == graph.n:
-            # Already the finest partition; further meets cannot refine it.
-            # Samples must still be drawn when the caller keeps them.
-            if not keep_samples:
-                break
+    with span("robust_scc_partition", r=r, n=graph.n, m=graph.m,
+              backend=scc_backend):
+        for i in range(r):
+            with stages.stage(STAGE_SAMPLE, round=i):
+                indptr, heads = sample_live_edge_csr(graph, rng)
+            with stages.stage(STAGE_SCC, round=i):
+                labels = scc_labels(indptr, heads, backend=scc_backend)
+            with stages.stage(STAGE_MEET, round=i):
+                partition = partition.meet(Partition(labels, canonical=False))
+            if keep_samples:
+                samples.append((indptr, heads))
+            if partition.n_blocks == graph.n:
+                # Already the finest partition; further meets cannot refine
+                # it.  Samples must still be drawn when the caller keeps them.
+                if not keep_samples:
+                    break
     if keep_samples:
         while len(samples) < r:
             samples.append(sample_live_edge_csr(graph, rng))

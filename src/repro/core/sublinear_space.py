@@ -26,6 +26,15 @@ import numpy as np
 
 from ..errors import CoarseningError
 from ..graph.influence_graph import InfluenceGraph
+from ..obs import (
+    STAGE_CONTRACT,
+    STAGE_MEET,
+    STAGE_SAMPLE,
+    STAGE_SCC,
+    StageTimes,
+    inc,
+    span,
+)
 from ..partition.partition import Partition
 from ..rng import ensure_rng
 from ..scc.semi_external import semi_external_scc_labels
@@ -96,33 +105,75 @@ def coarsen_influence_graph_sublinear(
     if work_dir is None:
         work_dir = os.path.dirname(out_path) or "."
     n = source.n
-    t0 = time.perf_counter()
+    stages = StageTimes()
+    with span("coarsen_sublinear", r=r, n=n, m=source.m):
+        t0 = time.perf_counter()
 
-    # ---- First stage: P_r by streaming sampling + semi-external SCC ----
-    partition = Partition.trivial(n)
-    stream_passes = 0
-    for i in range(r):
-        sample_path = os.path.join(work_dir, f".live_edge_{i}.pairs")
-        sample = PairStore.create(sample_path, n)
-        for tails, heads, probs in source.iter_chunks(chunk_edges):
-            keep = rng.random(probs.size) < probs
-            if keep.any():
-                sample.append(tails[keep], heads[keep])
-        labels, scc_stats = semi_external_scc_labels(
-            sample, chunk_edges=chunk_edges, return_stats=True
-        )
-        stream_passes += scc_stats.stream_passes
-        partition = partition.meet(Partition(labels, canonical=False))
-        if not keep_sample_stores:
-            sample.delete()
-    t1 = time.perf_counter()
+        # ---- First stage: P_r by streaming sampling + semi-external SCC ----
+        partition = Partition.trivial(n)
+        stream_passes = 0
+        for i in range(r):
+            sample_path = os.path.join(work_dir, f".live_edge_{i}.pairs")
+            with stages.stage(STAGE_SAMPLE, round=i):
+                sample = PairStore.create(sample_path, n)
+                for tails, heads, probs in source.iter_chunks(chunk_edges):
+                    keep = rng.random(probs.size) < probs
+                    if keep.any():
+                        sample.append(tails[keep], heads[keep])
+            with stages.stage(STAGE_SCC, round=i):
+                labels, scc_stats = semi_external_scc_labels(
+                    sample, chunk_edges=chunk_edges, return_stats=True
+                )
+            stream_passes += scc_stats.stream_passes
+            with stages.stage(STAGE_MEET, round=i):
+                partition = partition.meet(Partition(labels, canonical=False))
+            if not keep_sample_stores:
+                sample.delete()
+        t1 = time.perf_counter()
 
-    # ---- Second stage: build W, w, pi in memory; stream edges to disk ----
-    pi = partition.labels
-    n_coarse = partition.n_blocks
-    weights = np.bincount(pi, minlength=n_coarse).astype(np.int64)
+        # ---- Second stage: build W, w, pi in memory; stream to disk ----
+        with stages.stage(STAGE_CONTRACT):
+            pi = partition.labels
+            n_coarse = partition.n_blocks
+            weights = np.bincount(pi, minlength=n_coarse).astype(np.int64)
+            out, f_prime = _contract_streaming(
+                source, out_path, pi, n_coarse, weights, chunk_edges
+            )
+        t2 = time.perf_counter()
+
+    inc("coarsen.runs")
+    inc("coarsen.samples", r)
+    stats = CoarsenStats(
+        r=r,
+        first_stage_seconds=t1 - t0,
+        second_stage_seconds=t2 - t1,
+        input_vertices=n,
+        input_edges=source.m,
+        output_vertices=n_coarse,
+        output_edges=out.m,
+        stage_seconds=stages.as_dict(),
+        extras={
+            "f_prime_edges": f_prime,
+            "scc_stream_passes": stream_passes,
+            "bytes_read": source.bytes_read,
+            "bytes_written": out.bytes_written,
+        },
+    )
+    return SublinearResult(
+        store=out, weights=weights, pi=pi.copy(), partition=partition, stats=stats
+    )
+
+
+def _contract_streaming(
+    source: TripletStore,
+    out_path: str,
+    pi: np.ndarray,
+    n_coarse: int,
+    weights: np.ndarray,
+    chunk_edges: int,
+) -> tuple[TripletStore, int]:
+    """Stream the second stage of Algorithm 2; returns ``(out, |F'|)``."""
     singleton = weights == 1
-
     out = TripletStore.create(out_path, n_coarse)
     # Aggregation table only for F' = coarse edges touching a non-singleton.
     agg: dict[int, float] = {}
@@ -150,23 +201,4 @@ def coarsen_influence_graph_sublinear(
         q = -np.expm1(sums)
         q = np.clip(q, np.nextafter(0.0, 1.0), 1.0)
         out.append(keys // n_coarse, keys % n_coarse, q)
-    t2 = time.perf_counter()
-
-    stats = CoarsenStats(
-        r=r,
-        first_stage_seconds=t1 - t0,
-        second_stage_seconds=t2 - t1,
-        input_vertices=n,
-        input_edges=source.m,
-        output_vertices=n_coarse,
-        output_edges=out.m,
-        extras={
-            "f_prime_edges": len(agg),
-            "scc_stream_passes": stream_passes,
-            "bytes_read": source.bytes_read,
-            "bytes_written": out.bytes_written,
-        },
-    )
-    return SublinearResult(
-        store=out, weights=weights, pi=pi.copy(), partition=partition, stats=stats
-    )
+    return out, len(agg)

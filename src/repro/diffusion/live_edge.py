@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.influence_graph import InfluenceGraph
+from ..obs import inc, span
 from ..rng import ensure_rng
 from ..storage.triplet_store import DEFAULT_CHUNK_EDGES, PairStore, TripletStore
 
@@ -40,8 +41,12 @@ def sample_live_edge_csr(
     remain sorted and the new ``indptr`` is a cumulative count of kept edges
     per tail — no re-sort needed.
     """
-    keep = sample_live_edge_mask(graph, rng)
-    return live_edge_csr_from_mask(graph, keep)
+    with span("sample_live_edge", n=graph.n, m=graph.m):
+        keep = sample_live_edge_mask(graph, rng)
+        indptr, heads = live_edge_csr_from_mask(graph, keep)
+    inc("sample.live_edge_graphs")
+    inc("sample.edges_kept", int(heads.size))
+    return indptr, heads
 
 
 def live_edge_csr_from_mask(
@@ -68,9 +73,12 @@ def sample_live_edge_store(
     probability ``p``, holding only one chunk in memory.
     """
     rng = ensure_rng(rng)
-    dest = PairStore.create(dest_path, source.n)
-    for tails, heads, probs in source.iter_chunks(chunk_edges):
-        keep = rng.random(probs.size) < probs
-        if keep.any():
-            dest.append(tails[keep], heads[keep])
+    with span("sample_live_edge_store", n=source.n, m=source.m):
+        dest = PairStore.create(dest_path, source.n)
+        for tails, heads, probs in source.iter_chunks(chunk_edges):
+            keep = rng.random(probs.size) < probs
+            if keep.any():
+                dest.append(tails[keep], heads[keep])
+    inc("sample.live_edge_graphs")
+    inc("sample.edges_kept", dest.m)
     return dest

@@ -1,0 +1,192 @@
+"""Process-wide instrumentation gate with a no-op fast path.
+
+Library code calls the module-level helpers here (via :mod:`repro.obs`);
+each helper reads one module global and returns immediately when no tracer /
+registry is installed.  The disabled cost is a dict-build for the kwargs plus
+one attribute load — instrumentation sits at *stage* granularity (per live
+edge sample, per SCC run), never per edge, so the disabled overhead on the
+tier-1 suite is well under the 5% budget.
+
+Installation is scoped: :func:`use_tracer` / :func:`use_metrics` are context
+managers that restore the previous instrument on exit, so nested scopes and
+test isolation come for free.  :func:`enable_metrics` installs the lazily
+created process-default registry for long-lived processes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .metrics import MetricsRegistry
+from .trace import Tracer
+
+__all__ = [
+    "span",
+    "inc",
+    "set_gauge",
+    "observe",
+    "timed",
+    "current_tracer",
+    "current_metrics",
+    "set_tracer",
+    "set_metrics",
+    "use_tracer",
+    "use_metrics",
+    "default_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "trace_to",
+]
+
+_tracer: "Tracer | None" = None
+_metrics: "MetricsRegistry | None" = None
+_default_registry: "MetricsRegistry | None" = None
+
+
+class _NullSpan:
+    """Shared, reentrant, do-nothing span (the disabled fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+# -- tracing ------------------------------------------------------------
+
+
+def span(name: str, **attrs: Any):
+    """A nested tracing span; no-op unless a tracer is installed."""
+    tracer = _tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def current_tracer() -> "Tracer | None":
+    return _tracer
+
+
+def set_tracer(tracer: "Tracer | None") -> "Tracer | None":
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: "Tracer | None") -> Iterator["Tracer | None"]:
+    """Scope ``tracer`` as the active tracer, restoring the previous one."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+@contextmanager
+def trace_to(path: str, rss: bool = False) -> Iterator["Tracer"]:
+    """Trace the enclosed block to a JSONL file at ``path``."""
+    from .sinks import JsonlSink
+
+    tracer = Tracer(JsonlSink(path), rss=rss)
+    try:
+        with use_tracer(tracer):
+            yield tracer
+    finally:
+        tracer.close()
+
+
+# -- metrics ------------------------------------------------------------
+
+
+def inc(name: str, value: float = 1) -> None:
+    """Bump counter ``name``; no-op unless a registry is installed."""
+    registry = _metrics
+    if registry is not None:
+        registry.inc(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set gauge ``name``; no-op unless a registry is installed."""
+    registry = _metrics
+    if registry is not None:
+        registry.set_gauge(name, value)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record a duration under timer ``name``; no-op when disabled."""
+    registry = _metrics
+    if registry is not None:
+        registry.observe(name, seconds)
+
+
+class _NullTimer:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+def timed(name: str):
+    """Context manager timing its body into timer ``name`` (gated)."""
+    registry = _metrics
+    if registry is None:
+        return _NULL_TIMER
+    return registry.timer(name)
+
+
+def current_metrics() -> "MetricsRegistry | None":
+    return _metrics
+
+
+def set_metrics(registry: "MetricsRegistry | None") -> "MetricsRegistry | None":
+    """Install ``registry`` process-wide; returns the previous one."""
+    global _metrics
+    previous = _metrics
+    _metrics = registry
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: "MetricsRegistry | None") -> Iterator["MetricsRegistry | None"]:
+    """Scope ``registry`` as the active registry (test isolation path)."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)
+
+
+def default_registry() -> MetricsRegistry:
+    """The lazily created process-wide registry (not active until enabled)."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = MetricsRegistry()
+    return _default_registry
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Activate the process-default registry and return it."""
+    registry = default_registry()
+    set_metrics(registry)
+    return registry
+
+
+def disable_metrics() -> None:
+    """Deactivate metrics collection (the default registry keeps its data)."""
+    set_metrics(None)

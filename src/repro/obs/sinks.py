@@ -1,0 +1,74 @@
+"""Pluggable span-record sinks for the tracer.
+
+A sink receives one ``dict`` per finished span (plus a single leading meta
+record) and owns its own durability: the JSONL sink writes one JSON object
+per line, the list sink keeps records in memory for tests and the bench
+harness, and the null sink swallows everything.
+
+Sinks must tolerate concurrent ``emit`` calls only when the tracer is shared
+across threads; the tracer serialises emission with its own lock, so sink
+implementations can stay lock-free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Protocol
+
+__all__ = ["Sink", "NullSink", "ListSink", "JsonlSink"]
+
+
+class Sink(Protocol):
+    """Anything that can receive finished span records."""
+
+    def emit(self, record: dict) -> None:
+        """Consume one span (or meta) record."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release resources; further ``emit`` calls are invalid."""
+        ...
+
+
+class NullSink:
+    """Discards every record (used to exercise the enabled code path)."""
+
+    def emit(self, record: dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ListSink:
+    """Accumulates records in memory — the test/bench harness sink."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self.closed = False
+
+    def emit(self, record: dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a path or open text handle."""
+
+    def __init__(self, path_or_file: "str | IO[str]") -> None:
+        if isinstance(path_or_file, str):
+            self._file: IO[str] = open(path_or_file, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = path_or_file
+            self._owns_file = False
+
+    def emit(self, record: dict) -> None:
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()

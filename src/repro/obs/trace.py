@@ -1,0 +1,214 @@
+"""A zero-dependency tracer with nested spans and JSONL emission.
+
+Every span records wall time (``time.perf_counter``) and, optionally, the
+peak-RSS delta across its lifetime (``resource.getrusage``, Linux/macOS
+only).  Spans nest per thread: the tracer keeps one span stack per thread id,
+so worker threads spawned by :mod:`repro.core.parallel` produce correctly
+parented sub-traces.
+
+Records are emitted *at span close* (children before parents), one ``dict``
+per span, through a pluggable :class:`~repro.obs.sinks.Sink`.  The JSONL
+schema is versioned; see ``docs/observability.md`` and
+:func:`validate_record`.
+
+This module holds no global state — process-wide installation and the
+disabled no-op fast path live in :mod:`repro.obs` (the package root).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from typing import Any, Callable
+
+from .sinks import JsonlSink, Sink
+
+__all__ = ["Tracer", "TRACE_SCHEMA_VERSION", "read_trace", "validate_record"]
+
+TRACE_SCHEMA_VERSION = 1
+
+_SPAN_REQUIRED_FIELDS = {
+    "type": str,
+    "name": str,
+    "id": int,
+    "depth": int,
+    "thread": int,
+    "t_start": float,
+    "seconds": float,
+    "status": str,
+    "attrs": dict,
+}
+
+
+def _peak_rss_kb() -> int:
+    """Peak RSS of this process in KiB (0 where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return int(usage // 1024) if os.uname().sysname == "Darwin" else int(usage)
+
+
+class _SpanHandle:
+    """Context manager for one span; created by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_id", "_parent", "_depth",
+                 "_t0", "_rss0")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self._id = next(tracer._ids)
+        self._parent = stack[-1]._id if stack else None
+        self._depth = len(stack)
+        stack.append(self)
+        if tracer._rss:
+            self._rss0 = _peak_rss_kb()
+        self._t0 = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        t1 = tracer._clock()
+        stack = tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = {
+            "type": "span",
+            "name": self.name,
+            "id": self._id,
+            "parent": self._parent,
+            "depth": self._depth,
+            "thread": threading.get_ident(),
+            "t_start": self._t0 - tracer._origin,
+            "seconds": t1 - self._t0,
+            "status": "error" if exc_type is not None else "ok",
+            "attrs": self.attrs,
+        }
+        if tracer._rss:
+            record["rss_delta_kb"] = max(0, _peak_rss_kb() - self._rss0)
+        tracer._emit(record)
+        return False
+
+
+class Tracer:
+    """Emits nested span records through a sink.
+
+    Parameters
+    ----------
+    sink:
+        Destination for span records (see :mod:`repro.obs.sinks`).
+    rss:
+        Also record the peak-RSS delta (KiB) over each span's lifetime.
+        ``ru_maxrss`` is a high-water mark, so the delta is zero for spans
+        that stay under an earlier peak — it attributes *new* peaks only.
+    clock:
+        Monotonic clock (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        sink: Sink,
+        rss: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._sink = sink
+        self._rss = rss
+        self._clock = clock
+        self._origin = clock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._emit_lock = threading.Lock()
+        self._closed = False
+        self._emit({
+            "type": "meta",
+            "schema": TRACE_SCHEMA_VERSION,
+            "pid": os.getpid(),
+            "rss": rss,
+        })
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _emit(self, record: dict) -> None:
+        with self._emit_lock:
+            if not self._closed:
+                self._sink.emit(record)
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """Open a span; use as ``with tracer.span("scc", round=i): ...``."""
+        return _SpanHandle(self, name, attrs)
+
+    def close(self) -> None:
+        """Close the sink; subsequent span exits are dropped silently."""
+        with self._emit_lock:
+            self._closed = True
+        self._sink.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def validate_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the trace schema."""
+    kind = record.get("type")
+    if kind == "meta":
+        if record.get("schema") != TRACE_SCHEMA_VERSION:
+            raise ValueError(f"unsupported trace schema: {record.get('schema')!r}")
+        return
+    if kind != "span":
+        raise ValueError(f"unknown record type {kind!r}")
+    for field, field_type in _SPAN_REQUIRED_FIELDS.items():
+        if field not in record:
+            raise ValueError(f"span record missing field {field!r}")
+        value = record[field]
+        if field_type is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"span field {field!r} must be numeric")
+        elif not isinstance(value, field_type):
+            raise ValueError(f"span field {field!r} must be {field_type.__name__}")
+    if record["status"] not in ("ok", "error"):
+        raise ValueError(f"bad span status {record['status']!r}")
+    if record["seconds"] < 0 or record["depth"] < 0:
+        raise ValueError("span duration/depth must be non-negative")
+    parent = record.get("parent")
+    if parent is not None and not isinstance(parent, int):
+        raise ValueError("span parent must be an int or null")
+
+
+def read_trace(path: str, validate: bool = True) -> list[dict]:
+    """Load a JSONL trace file, optionally validating every record."""
+    import json
+
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if validate:
+                validate_record(record)
+            records.append(record)
+    return records
+
+
+def open_jsonl_tracer(path: str, rss: bool = False) -> Tracer:
+    """Convenience constructor: a tracer writing JSONL to ``path``."""
+    return Tracer(JsonlSink(path), rss=rss)

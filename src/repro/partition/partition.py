@@ -24,6 +24,7 @@ from collections.abc import Iterable
 import numpy as np
 
 from ..errors import PartitionError
+from ..obs import inc, span
 
 __all__ = ["Partition", "meet_labels", "meet_labels_hash"]
 
@@ -166,11 +167,15 @@ class Partition:
 
     def meet(self, other: "Partition", method: str = "numpy") -> "Partition":
         """The coarsest common refinement ``self ∧ other``."""
-        if method == "numpy":
-            return Partition(meet_labels(self.labels, other.labels), canonical=True)
-        if method == "hash":
-            return Partition(meet_labels_hash(self.labels, other.labels), canonical=True)
-        raise PartitionError(f"unknown meet method {method!r}")
+        with span("partition_meet", n=self.n, method=method):
+            inc("partition.meets")
+            if method == "numpy":
+                return Partition(meet_labels(self.labels, other.labels),
+                                 canonical=True)
+            if method == "hash":
+                return Partition(meet_labels_hash(self.labels, other.labels),
+                                 canonical=True)
+            raise PartitionError(f"unknown meet method {method!r}")
 
     def is_refinement_of(self, other: "Partition") -> bool:
         """True when every block of ``self`` lies inside a block of ``other``.

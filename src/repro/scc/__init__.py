@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import AlgorithmError
+from ..obs import inc, span
 from .kosaraju import kosaraju_scc_labels
 from .semi_external import SemiExternalStats, semi_external_scc_labels
 from .tarjan import tarjan_scc_labels
@@ -53,13 +54,20 @@ def scc_labels(
     differ between backends only by renaming; canonicalise with
     :meth:`repro.partition.Partition.canonical` before comparing.
     """
-    if backend == "tarjan":
-        return tarjan_scc_labels(indptr, heads)
-    if backend == "kosaraju":
-        return kosaraju_scc_labels(indptr, heads)
-    if backend == "scipy":
-        try:
-            return _scipy_scc_labels(indptr, heads)
-        except ImportError as exc:
-            raise AlgorithmError("scipy backend requested but scipy missing") from exc
-    raise AlgorithmError(f"unknown SCC backend {backend!r}; choose from {SCC_BACKENDS}")
+    with span("scc_labels", backend=backend, n=int(indptr.size - 1),
+              m=int(heads.size)):
+        inc("scc.runs")
+        if backend == "tarjan":
+            return tarjan_scc_labels(indptr, heads)
+        if backend == "kosaraju":
+            return kosaraju_scc_labels(indptr, heads)
+        if backend == "scipy":
+            try:
+                return _scipy_scc_labels(indptr, heads)
+            except ImportError as exc:
+                raise AlgorithmError(
+                    "scipy backend requested but scipy missing"
+                ) from exc
+        raise AlgorithmError(
+            f"unknown SCC backend {backend!r}; choose from {SCC_BACKENDS}"
+        )

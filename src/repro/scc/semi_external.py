@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import inc, span
 from ..storage.triplet_store import DEFAULT_CHUNK_EDGES, PairStore
 
 __all__ = ["semi_external_scc_labels", "SemiExternalStats"]
@@ -66,6 +67,19 @@ def semi_external_scc_labels(
     numpy.ndarray (and optionally :class:`SemiExternalStats`)
         ``int64`` SCC labels in ``[0, n_components)``.
     """
+    with span("scc_semi_external", n=store.n, m=store.m):
+        comp, stats = _fb_scc_streaming(store, chunk_edges)
+    inc("scc.runs")
+    inc("scc.stream_passes", stats.stream_passes)
+    if return_stats:
+        return comp, stats
+    return comp
+
+
+def _fb_scc_streaming(
+    store: PairStore, chunk_edges: int
+) -> "tuple[np.ndarray, SemiExternalStats]":
+    """The forward–backward streaming recursion behind the public wrapper."""
     n = store.n
     part = np.zeros(n, dtype=np.int64)  # active partition id; -1 once decided
     comp = np.full(n, -1, dtype=np.int64)
@@ -159,6 +173,4 @@ def semi_external_scc_labels(
         stream_passes=passes,
         bytes_read=store.bytes_read - start_bytes,
     )
-    if return_stats:
-        return comp, stats
-    return comp
+    return comp, stats

@@ -1,0 +1,101 @@
+"""Monotonicity regressions for Theorems 4.14 / 4.15.
+
+Theorem 4.14: adding a sample can only *refine* the r-robust partition —
+``P_{r+1}`` is a refinement of ``P_r`` — so along one shared sample
+sequence the partition chain is monotone and the coarse vertex count never
+decreases in ``r``.  Theorem 4.15 (with Theorem 6.1) bounds the estimation
+error: influence computed on the coarse graph never falls below the true
+influence on ``G`` (coarsening merges vertices that activate together, so
+it can only over-count).  These are exact structural guarantees, so they
+make sharp regression tests: a violation is a bug, not noise — except for
+the influence comparison, which goes through two Monte Carlo estimators
+and therefore gets a CI-width tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import MonteCarloEstimator
+from repro.core import coarsen_influence_graph, estimate_on_coarse
+from repro.core.robust_scc import robust_scc_refinement_sequence
+
+from .conftest import random_graph
+
+
+class TestPartitionChainMonotone:
+    @pytest.mark.parametrize("seed", (0, 3, 19))
+    def test_each_step_refines_the_previous(self, seed):
+        graph = random_graph(n=100, m=500, seed=seed)
+        chain = robust_scc_refinement_sequence(graph, r=10, rng=seed)
+        assert len(chain) == 10
+        for earlier, later in zip(chain, chain[1:]):
+            assert later.is_refinement_of(earlier)
+
+    @pytest.mark.parametrize("seed", (0, 3, 19))
+    def test_coarse_vertex_count_never_decreases(self, seed):
+        graph = random_graph(n=100, m=500, seed=seed)
+        chain = robust_scc_refinement_sequence(graph, r=10, rng=seed)
+        counts = [p.n_blocks for p in chain]
+        assert counts == sorted(counts)
+        # and every count is a valid coarse vertex count
+        assert all(1 <= c <= graph.n for c in counts)
+
+    def test_chain_matches_direct_construction(self):
+        """P_r from the chain equals the partition Algorithm 1 coarsens by."""
+        graph = random_graph(n=80, m=400, seed=7)
+        r = 6
+        chain = robust_scc_refinement_sequence(graph, r=r, rng=7)
+        direct = coarsen_influence_graph(graph, r=r, rng=7)
+        assert chain[-1] == direct.partition
+
+    def test_dense_probabilities_stay_coarse(self):
+        """With p=1 every sample keeps all edges: the chain never refines
+        past the exact SCC partition, so all r values give one partition."""
+        graph = random_graph(n=60, m=400, seed=2, p_low=1.0, p_high=1.0)
+        chain = robust_scc_refinement_sequence(graph, r=5, rng=2)
+        for partition in chain[1:]:
+            assert partition == chain[0]
+
+
+class TestInfluenceUpperBound:
+    """Theorem 4.14/6.1: Inf_H(pi(S)) >= Inf_G(S) (up to MC noise)."""
+
+    @pytest.mark.parametrize("r", (1, 4, 16))
+    def test_coarse_estimate_upper_bounds_ground_truth(self, r):
+        graph = random_graph(n=120, m=700, seed=13, p_low=0.1, p_high=0.9)
+        result = coarsen_influence_graph(graph, r=r, rng=13)
+        seeds = np.asarray([0, 17, 53], dtype=np.int64)
+
+        n_sims = 4000
+        coarse_est = estimate_on_coarse(
+            result, seeds, MonteCarloEstimator(n_simulations=n_sims, rng=99)
+        )
+        ground = MonteCarloEstimator(n_simulations=n_sims, rng=99).estimate(
+            graph, seeds
+        )
+
+        # Both estimates are means of n_sims bounded-by-n samples; a
+        # generous CI tolerance (~4 sigma of a conservative variance
+        # bound) keeps this deterministic-in-practice without masking a
+        # genuine violation, which would be O(n) not O(sigma).
+        sigma_bound = graph.n / (2.0 * np.sqrt(n_sims))
+        tolerance = 4.0 * sigma_bound * 2.0  # two independent estimators
+        assert coarse_est >= ground - tolerance
+
+    def test_singleton_partition_estimates_exactly_match(self):
+        """r large enough to shatter the partition => H is G (plus weights),
+        so the two estimators see the same process."""
+        graph = random_graph(n=50, m=150, seed=4, p_low=0.05, p_high=0.3)
+        result = coarsen_influence_graph(graph, r=64, rng=4)
+        if result.coarse.n != graph.n:
+            pytest.skip("partition did not shatter at this seed")
+        seeds = np.asarray([1, 2, 3], dtype=np.int64)
+        coarse_est = estimate_on_coarse(
+            result, seeds, MonteCarloEstimator(n_simulations=2000, rng=7)
+        )
+        ground = MonteCarloEstimator(n_simulations=2000, rng=7).estimate(
+            graph, seeds
+        )
+        assert coarse_est == pytest.approx(ground, rel=0.15)
