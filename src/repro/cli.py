@@ -40,6 +40,7 @@ from .core import (
 from .datasets import list_datasets, load_dataset
 from .errors import ReproError
 from .graph import InfluenceGraph, read_edge_list, write_edge_list
+from .scc import DEFAULT_SCC_BACKEND, SCC_BACKENDS
 
 __all__ = ["main"]
 
@@ -93,6 +94,13 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
                              "print a metrics report on exit")
 
 
+def _add_coarsen_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scc-backend", choices=SCC_BACKENDS,
+                        default=DEFAULT_SCC_BACKEND,
+                        help="SCC implementation for the r-robust rounds "
+                             "(default %(default)s; see docs/performance.md)")
+
+
 def _parse_seeds(text: str, n: int) -> np.ndarray:
     try:
         seeds = np.asarray([int(s) for s in text.split(",") if s], dtype=np.int64)
@@ -134,7 +142,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_coarsen(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.default_prob, args.undirected,
                         args.reverse)
-    result = coarsen_influence_graph(graph, r=args.r, rng=args.seed)
+    result = coarsen_influence_graph(graph, r=args.r, rng=args.seed,
+                                     scc_backend=args.scc_backend)
     stats = result.stats
     print(f"coarsened in {stats.total_seconds:.2f} s (r={args.r})")
     if stats.stage_seconds:
@@ -161,7 +170,8 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     estimator = MonteCarloEstimator(args.simulations, rng=args.seed)
     t0 = time.perf_counter()
     if args.coarsen:
-        result = coarsen_influence_graph(graph, r=args.r, rng=args.seed)
+        result = coarsen_influence_graph(graph, r=args.r, rng=args.seed,
+                                         scc_backend=args.scc_backend)
         value = estimate_on_coarse(result, seeds, estimator)
     else:
         value = estimator.estimate(graph, seeds)
@@ -189,7 +199,8 @@ def _cmd_maximize(args: argparse.Namespace) -> int:
     maximizer = _MAXIMIZERS[args.algorithm](args)
     t0 = time.perf_counter()
     if args.coarsen:
-        result = coarsen_influence_graph(graph, r=args.r, rng=args.seed)
+        result = coarsen_influence_graph(graph, r=args.r, rng=args.seed,
+                                         scc_backend=args.scc_backend)
         answer = maximize_on_coarse(result, args.k, maximizer, rng=args.seed)
     else:
         answer = maximizer.select(graph, args.k)
@@ -221,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(p_coarsen)
     p_coarsen.add_argument("-r", type=int, default=16,
                            help="robustness parameter (default 16)")
+    _add_coarsen_arguments(p_coarsen)
     p_coarsen.add_argument("--seed", type=int, default=0)
     p_coarsen.add_argument("-o", "--output",
                            help="write the coarse graph as an edge list "
@@ -239,6 +251,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run on the coarsened graph")
     p_est.add_argument("-r", type=int, default=16)
     p_est.add_argument("--seed", type=int, default=0)
+    _add_coarsen_arguments(p_est)
 
     p_max = sub.add_parser("maximize",
                            help="select an influential seed set (Algorithm 4)")
@@ -259,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run on the coarsened graph")
     p_max.add_argument("-r", type=int, default=16)
     p_max.add_argument("--seed", type=int, default=0)
+    _add_coarsen_arguments(p_max)
 
     return parser
 

@@ -28,7 +28,7 @@ from ..errors import CoarseningError
 from ..graph.influence_graph import InfluenceGraph
 from ..partition.partition import Partition
 from ..rng import ensure_rng
-from ..scc import scc_labels
+from ..scc import DEFAULT_SCC_BACKEND, scc_labels
 from .coarsen import coarsen
 from .result import CoarsenResult, CoarsenStats
 
@@ -62,7 +62,7 @@ class DynamicCoarsener:
     """
 
     def __init__(self, graph: InfluenceGraph, r: int = 16, rng=None,
-                 scc_backend: str = "tarjan") -> None:
+                 scc_backend: str = DEFAULT_SCC_BACKEND) -> None:
         if graph.is_weighted:
             raise CoarseningError("dynamic coarsening expects an unweighted input")
         self.n = graph.n

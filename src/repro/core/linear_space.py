@@ -14,6 +14,7 @@ import numpy as np
 
 from ..graph.influence_graph import InfluenceGraph
 from ..obs import STAGE_CONTRACT, StageTimes, inc, span
+from ..scc import DEFAULT_SCC_BACKEND
 from .coarsen import coarsen
 from .result import CoarsenResult, CoarsenStats
 from .robust_scc import robust_scc_partition
@@ -25,7 +26,7 @@ def coarsen_influence_graph(
     graph: InfluenceGraph,
     r: int = 16,
     rng=None,
-    scc_backend: str = "tarjan",
+    scc_backend: str = DEFAULT_SCC_BACKEND,
     validate: bool = False,
 ) -> CoarsenResult:
     """Coarsen ``graph`` by its r-robust SCC partition (Algorithm 1).

@@ -28,6 +28,7 @@ from ..graph.influence_graph import InfluenceGraph
 from ..obs import STAGE_CONTRACT, STAGE_MEET, StageTimes, inc, span
 from ..partition.partition import Partition
 from ..rng import spawn_rngs
+from ..scc import DEFAULT_SCC_BACKEND
 from .coarsen import coarsen
 from .result import CoarsenResult, CoarsenStats
 from .robust_scc import robust_scc_partition
@@ -57,7 +58,7 @@ def coarsen_influence_graph_parallel(
     workers: int = 4,
     rng=None,
     executor: str = "thread",
-    scc_backend: str = "tarjan",
+    scc_backend: str = DEFAULT_SCC_BACKEND,
 ) -> CoarsenResult:
     """Coarsen ``graph`` using ``workers`` parallel partition builders.
 

@@ -21,7 +21,7 @@ from ..graph.influence_graph import InfluenceGraph
 from ..obs import STAGE_MEET, STAGE_SAMPLE, STAGE_SCC, StageTimes, span
 from ..partition.partition import Partition
 from ..rng import ensure_rng
-from ..scc import scc_labels
+from ..scc import DEFAULT_SCC_BACKEND, scc_labels
 
 __all__ = ["robust_scc_partition", "robust_scc_refinement_sequence"]
 
@@ -30,9 +30,10 @@ def robust_scc_partition(
     graph: InfluenceGraph,
     r: int,
     rng=None,
-    scc_backend: str = "tarjan",
+    scc_backend: str = DEFAULT_SCC_BACKEND,
     keep_samples: bool = False,
     stages: "StageTimes | None" = None,
+    refine: "bool | None" = None,
 ) -> "Partition | tuple[Partition, list[tuple[np.ndarray, np.ndarray]]]":
     """The partition of all r-robust SCCs w.r.t. ``r`` fresh live-edge samples.
 
@@ -56,21 +57,42 @@ def robust_scc_partition(
         Optional :class:`~repro.obs.StageTimes` accumulating the
         ``sample``/``scc``/``meet`` wall-time breakdown (one is created
         internally when omitted, so tracer spans are emitted either way).
+    refine:
+        Make the fold *refinement-aware*: each round passes the running
+        partition to the SCC backend so it can skip work that provably
+        cannot refine the meet any further (Theorem 4.11's incremental
+        structure — blocks only ever split, so singleton-block vertices are
+        settled forever).  ``None`` (the default) enables this exactly for
+        the backends that support a block restriction (``fwbw``); ``True``
+        forces it (an :class:`AlgorithmError` for other backends); ``False``
+        recomputes full per-sample SCCs.  The result is identical either
+        way — the restriction is exact, not a heuristic; tests pin this.
     """
     if r < 0:
         raise AlgorithmError("r must be non-negative")
+    if refine is None:
+        refine = scc_backend == "fwbw"
+    elif refine and scc_backend != "fwbw":
+        raise AlgorithmError(
+            f"refine=True requires a block-restrictable backend (fwbw), "
+            f"not {scc_backend!r}"
+        )
     rng = ensure_rng(rng)
     if stages is None:
         stages = StageTimes()
     partition = Partition.trivial(graph.n)
     samples: list[tuple[np.ndarray, np.ndarray]] = []
     with span("robust_scc_partition", r=r, n=graph.n, m=graph.m,
-              backend=scc_backend):
+              backend=scc_backend, refine=refine):
         for i in range(r):
             with stages.stage(STAGE_SAMPLE, round=i):
                 indptr, heads = sample_live_edge_csr(graph, rng)
+            # The trivial first-round partition has no singleton blocks, so
+            # the restriction could not prune anything — skip its setup.
+            blocks = partition.labels if refine and i > 0 else None
             with stages.stage(STAGE_SCC, round=i):
-                labels = scc_labels(indptr, heads, backend=scc_backend)
+                labels = scc_labels(indptr, heads, backend=scc_backend,
+                                    block_labels=blocks)
             with stages.stage(STAGE_MEET, round=i):
                 partition = partition.meet(Partition(labels, canonical=False))
             if keep_samples:
@@ -88,7 +110,8 @@ def robust_scc_partition(
 
 
 def robust_scc_refinement_sequence(
-    graph: InfluenceGraph, r: int, rng=None, scc_backend: str = "tarjan"
+    graph: InfluenceGraph, r: int, rng=None,
+    scc_backend: str = DEFAULT_SCC_BACKEND,
 ) -> list[Partition]:
     """The chain ``P_1, P_2, ..., P_r`` over one shared sample sequence.
 

@@ -16,6 +16,7 @@ from typing import Sequence
 
 from ..errors import AlgorithmError
 from ..graph.influence_graph import InfluenceGraph
+from ..scc import DEFAULT_SCC_BACKEND
 from .coarsen import coarsen
 from .robust_scc import robust_scc_refinement_sequence
 
@@ -37,7 +38,7 @@ def r_sweep(
     graph: InfluenceGraph,
     r_values: Sequence[int] = (1, 2, 4, 8, 16, 32),
     rng=None,
-    scc_backend: str = "tarjan",
+    scc_backend: str = DEFAULT_SCC_BACKEND,
 ) -> list[RSweepPoint]:
     """Size of the coarsened graph at each candidate ``r``.
 

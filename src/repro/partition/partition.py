@@ -166,16 +166,34 @@ class Partition:
     # -- lattice operations ------------------------------------------------
 
     def meet(self, other: "Partition", method: str = "numpy") -> "Partition":
-        """The coarsest common refinement ``self ∧ other``."""
+        """The coarsest common refinement ``self ∧ other``.
+
+        Trivial and discrete arguments short-circuit without the packed
+        ``np.unique`` scan: ``{V} ∧ Q = Q`` and ``D ∧ Q = D`` for the
+        all-singletons partition ``D``.  Every coarsen run hits both — the
+        trivial case on the first r-robust round, the discrete case once the
+        partition bottoms out.  Partitions are immutable value objects, so
+        returning the argument itself is safe.
+        """
+        if method not in ("numpy", "hash"):
+            raise PartitionError(f"unknown meet method {method!r}")
+        if self.n != other.n:
+            raise PartitionError("partitions must cover the same vertex set")
         with span("partition_meet", n=self.n, method=method):
             inc("partition.meets")
+            if self._n_blocks <= 1:
+                return other
+            if other._n_blocks <= 1:
+                return self
+            if self._n_blocks == self.n:
+                return self
+            if other._n_blocks == other.n:
+                return other
             if method == "numpy":
                 return Partition(meet_labels(self.labels, other.labels),
                                  canonical=True)
-            if method == "hash":
-                return Partition(meet_labels_hash(self.labels, other.labels),
-                                 canonical=True)
-            raise PartitionError(f"unknown meet method {method!r}")
+            return Partition(meet_labels_hash(self.labels, other.labels),
+                             canonical=True)
 
     def is_refinement_of(self, other: "Partition") -> bool:
         """True when every block of ``self`` lies inside a block of ``other``.

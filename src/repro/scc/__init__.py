@@ -1,8 +1,13 @@
 """Strongly-connected-component algorithms.
 
-Three independent implementations with one dispatch point:
+Four independent implementations with one dispatch point:
 
-* ``"tarjan"`` — iterative Tarjan, the default in-memory routine;
+* ``"fwbw"`` — vectorised forward–backward decomposition with trimming and
+  a coloring phase (:mod:`repro.scc.fwbw`), the default: it runs on numpy
+  frontiers instead of a per-vertex interpreter loop, and is the only
+  backend that accepts a ``block_labels`` restriction for refinement-aware
+  r-robust rounds;
+* ``"tarjan"`` — iterative Tarjan, the pure-Python reference routine;
 * ``"kosaraju"`` — two-pass Kosaraju, an independent cross-check;
 * ``"scipy"`` — optional acceleration via :mod:`scipy.sparse.csgraph` when
   scipy is installed (results are label-equivalent; tests verify this).
@@ -18,20 +23,29 @@ import numpy as np
 
 from ..errors import AlgorithmError
 from ..obs import inc, span
+from .fwbw import FwbwStats, fwbw_scc_labels
 from .kosaraju import kosaraju_scc_labels
 from .semi_external import SemiExternalStats, semi_external_scc_labels
 from .tarjan import tarjan_scc_labels
 
 __all__ = [
     "scc_labels",
+    "fwbw_scc_labels",
     "tarjan_scc_labels",
     "kosaraju_scc_labels",
     "semi_external_scc_labels",
+    "FwbwStats",
     "SemiExternalStats",
     "SCC_BACKENDS",
+    "DEFAULT_SCC_BACKEND",
 ]
 
-SCC_BACKENDS = ("tarjan", "kosaraju", "scipy")
+SCC_BACKENDS = ("fwbw", "tarjan", "kosaraju", "scipy")
+
+#: Backend used when callers don't choose one.  ``fwbw`` is bit-identical to
+#: ``tarjan`` up to label renaming (the differential suite pins this) and an
+#: order of magnitude faster on large graphs; see ``docs/performance.md``.
+DEFAULT_SCC_BACKEND = "fwbw"
 
 
 def _scipy_scc_labels(indptr: np.ndarray, heads: np.ndarray) -> np.ndarray:
@@ -46,17 +60,36 @@ def _scipy_scc_labels(indptr: np.ndarray, heads: np.ndarray) -> np.ndarray:
 
 
 def scc_labels(
-    indptr: np.ndarray, heads: np.ndarray, backend: str = "tarjan"
+    indptr: np.ndarray,
+    heads: np.ndarray,
+    backend: str = DEFAULT_SCC_BACKEND,
+    block_labels: "np.ndarray | None" = None,
 ) -> np.ndarray:
     """Label every vertex of a CSR digraph with its SCC id.
 
     ``backend`` selects the implementation (see module docstring).  Labels
     differ between backends only by renaming; canonicalise with
-    :meth:`repro.partition.Partition.canonical` before comparing.
+    :class:`repro.partition.Partition` before comparing.
+
+    ``block_labels`` optionally restricts the computation to refining a
+    running partition (the ``fwbw`` backend skips work that cannot split a
+    surviving block; other backends compute the full SCC, which is always a
+    valid refinement input).  With a restriction in place only the meet
+    ``block_labels ∧ result`` is meaningful — see
+    :func:`repro.scc.fwbw.fwbw_scc_labels`.
     """
     with span("scc_labels", backend=backend, n=int(indptr.size - 1),
               m=int(heads.size)):
         inc("scc.runs")
+        if backend == "fwbw":
+            labels, stats = fwbw_scc_labels(
+                indptr, heads, block_labels=block_labels, return_stats=True
+            )
+            if stats.frozen_vertices:
+                inc("scc.frozen_vertices", stats.frozen_vertices)
+            if stats.masked_edges:
+                inc("scc.masked_edges", stats.masked_edges)
+            return labels
         if backend == "tarjan":
             return tarjan_scc_labels(indptr, heads)
         if backend == "kosaraju":

@@ -1,0 +1,432 @@
+"""Vectorised forward–backward (FW-BW) SCC with trimming, a coloring phase
+for fragmented remainders, and optional block-restricted refinement.
+
+The divide-and-conquer FW-BW method (Fleischer, Hendrickson & Pinar) picks a
+pivot, computes its forward and backward reachable sets, finalises their
+intersection as one SCC, and recurses on the three remainder sets — which is
+ideal for an array runtime because every step is a whole-frontier operation:
+
+* **trim** — vertices with zero in- or out-degree inside their part are
+  singleton SCCs; a frontier peel resolves the whole tree/DAG fringe of a
+  live-edge sample in O(n + m) total work;
+* **multi-source frontier BFS** — one pivot per active part, all parts
+  advanced simultaneously; frontier expansion is a single ``indptr``-diff /
+  ``np.repeat`` gather plus an O(1)-per-element scratch dedup, no
+  per-vertex Python;
+* **three-way split** — the remainder of each part splits into
+  forward-only, backward-only and untouched sub-parts (SCCs never straddle
+  these), implemented as one bucket relabel;
+* **domain compaction** — whenever the active set halves, the surviving
+  vertices are renumbered into a dense domain (one monotone gather, so the
+  edge lists stay sorted), which keeps every later round's cost
+  proportional to the live subgraph instead of the original ``n``.  The
+  first round typically resolves the giant SCC and trims the fringe, after
+  which hundreds of cleanup rounds may each touch only a few hundred
+  vertices.
+
+The explicit work queue of the classic recursion is the ``part`` label
+array: every active part is an outstanding work item, and one pass of the
+round loop services all of them at once.
+
+Pure FW-BW degenerates when a graph decomposes into *many* small SCCs (the
+reciprocal-edge clusters of social-network samples): each round only peels a
+few components per part and the decomposition tree gets deep.  Following the
+Multistep design of Slota, Rajamanickam & Madduri (IPDPS'14), once the
+decomposition has fragmented past a threshold the kernel switches to a
+**coloring** round: propagate the maximum vertex id forward to fixpoint
+(pull-based ``np.maximum.reduceat`` over the reverse CSR), take every vertex
+that kept its own id as a root, and resolve every root's SCC simultaneously
+with one backward BFS restricted to its color class.  Thousands of SCCs
+finalise per round instead of O(parts).
+
+Block-restricted refinement (``block_labels``)
+----------------------------------------------
+When the caller supplies the running r-robust partition, the kernel prunes
+work that cannot refine it further.  Vertices in singleton blocks are
+*frozen*: the meet can never split or merge them again, so their exact SCC
+label is irrelevant — but they are kept as path conduits, because
+reachability between two same-block vertices may legally route through
+other blocks.  (A naive edge mask ``label[tail] == label[head]`` is *not*
+sound for directed graphs for exactly that reason; see
+``docs/performance.md`` for a three-vertex counterexample.)
+
+The sound pruning rule: a part of the decomposition is **retired** as soon
+as no surviving block has two non-frozen vertices inside it.  Parts are
+reachability-closed, so an SCC can never straddle two parts — a part
+without such a pair can only produce meet-singletons, and every vertex in
+it is finalised with a fresh unique label without scanning its edges again.
+Retired-part edge counts are reported as ``masked_edges``; the per-round
+live edge working set shrinks monotonically as the partition refines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["fwbw_scc_labels", "FwbwStats"]
+
+# Switch from pivot rounds to coloring rounds once the decomposition has
+# fragmented (many active parts) or stopped collapsing quickly (round
+# count): coloring finalises one SCC per color root instead of one per
+# part.  The exact values are uncritical: both phases are exact, the
+# thresholds only trade constants.
+_COLOR_PARTS = 32
+_COLOR_ROUNDS = 3
+
+
+@dataclass
+class FwbwStats:
+    """Work counters for one FW-BW run (observability + regression tests)."""
+
+    rounds: int = 0
+    bfs_passes: int = 0
+    color_passes: int = 0
+    trim_waves: int = 0
+    processed_edges: int = 0  # live edges entering each round, summed
+    masked_edges: int = 0  # live edges dropped by block-restricted retirement
+    retired_vertices: int = 0  # vertices finalised by retirement
+    frozen_vertices: int = 0  # singleton-block vertices in the restriction
+
+
+def _gather(indptr: np.ndarray, heads: np.ndarray, verts: np.ndarray) -> np.ndarray:
+    """All CSR neighbours of ``verts``, concatenated (duplicates included)."""
+    counts = indptr[verts + 1] - indptr[verts]
+    nz = counts > 0
+    if not nz.all():
+        verts, counts = verts[nz], counts[nz]
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=heads.dtype)
+    ends = np.cumsum(counts)
+    offsets = np.repeat(indptr[verts] - (ends - counts), counts)
+    return heads[np.arange(total, dtype=counts.dtype) + offsets]
+
+
+def _csr_of(tails: np.ndarray, heads: np.ndarray, n: int,
+            dtype=np.int64) -> np.ndarray:
+    """``indptr`` for an edge list already sorted by tail."""
+    indptr = np.zeros(n + 1, dtype=dtype)
+    indptr[1:] = np.cumsum(np.bincount(tails, minlength=n))
+    return indptr
+
+
+def _dedup(verts: np.ndarray, scratch: np.ndarray) -> np.ndarray:
+    """Distinct values of ``verts`` via a scratch write-then-readback pass —
+    O(len) with no sort or hash, the frontier dedup the BFS lives on."""
+    pos = np.arange(verts.size, dtype=scratch.dtype)
+    scratch[verts] = pos
+    return verts[scratch[verts] == pos]
+
+
+def _bucket_ids(values: np.ndarray, domain: int) -> "tuple[np.ndarray, int]":
+    """Dense ids (arbitrary but consistent order) for ``values`` < domain."""
+    mark = np.zeros(domain, dtype=np.int64)
+    mark[values] = 1
+    dense = np.cumsum(mark) - 1
+    return dense[values], int(dense[-1]) + 1 if values.size else 0
+
+
+def _frontier_bfs(
+    indptr: np.ndarray,
+    heads: np.ndarray,
+    seeds: np.ndarray,
+    part: np.ndarray,
+    scratch: np.ndarray,
+    stats: FwbwStats,
+) -> np.ndarray:
+    """Reachability from ``seeds`` over live edges, never through decided
+    vertices (``part < 0``) — trimmed vertices still sit in the CSR arrays
+    but are not legal path interior for the induced-subgraph semantics."""
+    reach = np.zeros(part.size, dtype=bool)
+    reach[seeds] = True
+    frontier = seeds
+    while frontier.size:
+        stats.bfs_passes += 1
+        nbrs = _gather(indptr, heads, frontier)
+        if nbrs.size == 0:
+            break
+        nbrs = nbrs[~reach[nbrs] & (part[nbrs] >= 0)]
+        if nbrs.size == 0:
+            break
+        frontier = _dedup(nbrs, scratch)
+        reach[frontier] = True
+    return reach
+
+
+def fwbw_scc_labels(
+    indptr: np.ndarray,
+    heads: np.ndarray,
+    block_labels: "np.ndarray | None" = None,
+    return_stats: bool = False,
+):
+    """Label every vertex of a CSR digraph with its SCC id, vectorised.
+
+    Parameters
+    ----------
+    indptr, heads:
+        CSR adjacency of a directed graph on ``len(indptr) - 1`` vertices.
+    block_labels:
+        Optional label array of the running r-robust partition.  When given,
+        the kernel retires decomposition parts that can no longer refine any
+        non-singleton block (see the module docstring); the labels returned
+        for retired vertices are fresh singletons, which is exact for the
+        subsequent meet because every retired vertex is provably a meet
+        singleton.  **Only the meet ``block_labels ∧ result`` is meaningful
+        in this mode** — raw labels of retired vertices are arbitrary.
+    return_stats:
+        Also return a :class:`FwbwStats` with round/pass/work counters.
+
+    Returns
+    -------
+    numpy.ndarray (and optionally :class:`FwbwStats`)
+        ``int64`` SCC labels in ``[0, n_components)``.  Label numbering is
+        implementation-defined; canonicalise via
+        :class:`repro.partition.Partition` before comparing across backends.
+    """
+    n = int(indptr.size) - 1
+    stats = FwbwStats()
+    comp = np.full(max(n, 0), -1, dtype=np.int64)
+    if n <= 0:
+        return (comp, stats) if return_stats else comp
+
+    indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+    # A 32-bit index domain halves the memory traffic of every gather and
+    # edge filter, which wins ~2x once the working set spills out of
+    # last-level cache; below that, numpy's index-to-intp conversion makes
+    # int32 a net loss, so small graphs stay on the native width.
+    m_in = int(indptr[-1])
+    imax = np.iinfo(np.int32).max
+    use32 = n + m_in >= 256_000 and n < imax and m_in < imax
+    idx = np.int32 if use32 else np.int64
+    heads = np.ascontiguousarray(heads, dtype=idx)
+    tails = np.repeat(np.arange(n, dtype=idx), np.diff(indptr))
+    keep = tails != heads  # self-loops never affect SCC membership
+    if keep.all():
+        ft, fh = tails, heads
+    else:
+        ft, fh = tails[keep], heads[keep]
+    # Reverse orientation, sorted by head: the same boolean filters keep
+    # both edge lists CSR-ordered for the rest of the run, so per-round CSR
+    # rebuilds are a bincount + cumsum, never a sort.  Within-bucket order
+    # is irrelevant for a CSR, so the default (unstable, faster) sort is
+    # fine — this is the only sort in the whole run.
+    order = np.argsort(fh)
+    rt, rh = fh[order], ft[order]
+
+    frozen = None
+    block_stride = 0
+    if block_labels is not None:
+        block_labels = np.ascontiguousarray(block_labels, dtype=np.int64)
+        if block_labels.size != n:
+            raise ValueError("block_labels must have one entry per vertex")
+        sizes = np.bincount(block_labels)
+        frozen = sizes[block_labels] == 1
+        block_stride = int(block_labels.max()) + 1
+        stats.frozen_vertices = int(frozen.sum())
+
+    cur_n = n
+    ids = np.arange(n, dtype=np.int64)  # compact-domain vertex -> original
+    part = np.zeros(n, dtype=idx)  # active part id; -1 once decided
+    scratch = np.empty(n, dtype=idx)  # dedup workspace, reused all run
+    n_comp = 0
+    n_parts = 1  # active part ids are always dense in [0, n_parts)
+
+    while True:
+        # Refresh the live edge lists: an edge survives while both endpoints
+        # are undecided and in the same part.  The lists only ever shrink.
+        # (Round one is a no-op — everything starts live in part 0.)
+        if stats.rounds:
+            live = (part[ft] >= 0) & (part[ft] == part[fh])
+            ft, fh = ft[live], fh[live]
+            rlive = (part[rh] >= 0) & (part[rh] == part[rt])
+            rt, rh = rt[rlive], rh[rlive]
+
+        active = np.flatnonzero(part >= 0)
+        if active.size == 0:
+            break
+
+        # ---- domain compaction --------------------------------------------
+        # Renumbering is monotone over the sorted ``active``, so both edge
+        # lists stay CSR-ordered; amortised O(n + m) over the whole run.
+        if active.size * 2 < cur_n:
+            old2new = scratch  # safe: fully rewritten before next dedup use
+            old2new[active] = np.arange(active.size, dtype=idx)
+            ft, fh = old2new[ft], old2new[fh]
+            rt, rh = old2new[rt], old2new[rh]
+            ids = ids[active]
+            part = part[active]
+            if frozen is not None:
+                frozen = frozen[active]
+                block_labels = block_labels[active]
+            cur_n = active.size
+            scratch = np.empty(cur_n, dtype=idx)
+            active = np.arange(cur_n, dtype=np.int64)
+
+        stats.rounds += 1
+        stats.processed_edges += int(ft.size)
+
+        fip = _csr_of(ft, fh, cur_n, dtype=idx)
+        rip = _csr_of(rt, rh, cur_n, dtype=idx)
+
+        # ---- trim: frontier peel of zero-in/out-degree vertices ----------
+        outdeg = np.diff(fip)
+        indeg = np.diff(rip)
+        wave = active[(outdeg[active] == 0) | (indeg[active] == 0)]
+        while wave.size:
+            stats.trim_waves += 1
+            comp[ids[wave]] = n_comp + np.arange(wave.size, dtype=np.int64)
+            n_comp += wave.size
+            part[wave] = -1
+            out_nbrs = _gather(fip, fh, wave)
+            in_nbrs = _gather(rip, rh, wave)
+            np.subtract.at(indeg, out_nbrs, 1)
+            np.subtract.at(outdeg, in_nbrs, 1)
+            cand = np.concatenate((out_nbrs, in_nbrs))
+            cand = cand[part[cand] >= 0]
+            if cand.size:
+                cand = _dedup(cand, scratch)
+            wave = cand[(outdeg[cand] == 0) | (indeg[cand] == 0)]
+        active = np.flatnonzero(part >= 0)
+        if active.size == 0:
+            break
+
+        # ---- block-restricted retirement ---------------------------------
+        # The key scan only pays for itself once frozen vertices dominate
+        # the active set — the regime where whole parts hold no splittable
+        # block and retire en masse.  Below that threshold nearly every
+        # part is still good and the scan is pure overhead, so skip it.
+        if frozen is not None and (
+            (nonfrozen := active[~frozen[active]]).size * 2 <= active.size
+        ):
+            if nonfrozen.size:
+                key = (part[nonfrozen].astype(np.int64) * block_stride
+                       + block_labels[nonfrozen])
+                uniq, counts = np.unique(key, return_counts=True)
+                good = np.unique(uniq[counts >= 2] // block_stride)
+            else:
+                good = np.empty(0, dtype=np.int64)
+            retire = active[~np.isin(part[active], good)]
+            if retire.size:
+                flag = np.zeros(cur_n, dtype=bool)
+                flag[retire] = True
+                stats.masked_edges += int((flag[ft] & (part[fh] >= 0)).sum())
+                stats.retired_vertices += int(retire.size)
+                comp[ids[retire]] = n_comp + np.arange(retire.size,
+                                                       dtype=np.int64)
+                n_comp += retire.size
+                part[retire] = -1
+                active = np.flatnonzero(part >= 0)
+                if active.size == 0:
+                    break
+
+        if n_parts >= _COLOR_PARTS or stats.rounds > _COLOR_ROUNDS:
+            n_comp, n_parts = _color_round(
+                cur_n, ft, fh, rt, rh, part, comp, ids, n_comp, scratch, stats
+            )
+            continue
+
+        # ---- pivots: one per active part, preferring non-frozen ----------
+        # Bucket writes, no sort: any representative per part will do, and
+        # non-frozen writes last so they win where available.
+        pivot_of = np.full(n_parts, -1, dtype=np.int64)
+        pivot_of[part[active]] = active
+        if frozen is not None:
+            nonfrozen = active[~frozen[active]]
+            pivot_of[part[nonfrozen]] = nonfrozen
+        pivots = pivot_of[pivot_of >= 0]
+
+        # ---- forward/backward multi-source frontier BFS ------------------
+        reach_f = _frontier_bfs(fip, fh, pivots, part, scratch, stats)
+        reach_b = _frontier_bfs(rip, rh, pivots, part, scratch, stats)
+
+        # ---- finalise every pivot's SCC (F ∩ B, per part) ----------------
+        in_scc = np.zeros(cur_n, dtype=bool)
+        in_scc[active] = reach_f[active] & reach_b[active]
+        members = np.flatnonzero(in_scc)
+        new_id, n_new = _bucket_ids(part[members], n_parts)
+        comp[ids[members]] = n_comp + new_id
+        n_comp += n_new
+        part[members] = -1
+
+        # ---- split remainders into (F-only, B-only, untouched) -----------
+        remaining = np.flatnonzero(part >= 0)
+        if remaining.size:
+            state = np.where(
+                reach_f[remaining], 1, np.where(reach_b[remaining], 2, 0)
+            ).astype(np.int64)
+            new_part, n_parts = _bucket_ids(
+                part[remaining].astype(np.int64) * 3 + state, 3 * n_parts
+            )
+            part[remaining] = new_part
+        else:
+            n_parts = 0
+
+    return (comp, stats) if return_stats else comp
+
+
+def _color_round(
+    n: int,
+    ft: np.ndarray,
+    fh: np.ndarray,
+    rt: np.ndarray,
+    rh: np.ndarray,
+    part: np.ndarray,
+    comp: np.ndarray,
+    ids: np.ndarray,
+    n_comp: int,
+    scratch: np.ndarray,
+    stats: FwbwStats,
+) -> "tuple[int, int]":
+    """One coloring round: resolve every color root's SCC simultaneously.
+
+    Forward max-id propagation runs to fixpoint pull-style — each pass is a
+    single segmented ``np.maximum.reduceat`` over the reverse CSR.  A vertex
+    that keeps its own id is a *root*; a backward BFS from all roots over
+    same-color edges collects each root's SCC exactly (any vertex that
+    reaches its color root is also reached by it, by color maximality).
+    Returns the updated ``(n_comp, n_parts)``.
+    """
+    # Trim/retirement may have decided vertices since the round's edge
+    # refresh; drop their edges before propagating.
+    live = (part[ft] >= 0) & (part[fh] >= 0)
+    ft, fh = ft[live], fh[live]
+    rlive = (part[rt] >= 0) & (part[rh] >= 0)
+    rt, rh = rt[rlive], rh[rlive]
+
+    color = np.arange(n, dtype=part.dtype)
+    rip = _csr_of(rt, rh, n, dtype=part.dtype)
+    nzv = np.flatnonzero(np.diff(rip) > 0)  # vertices with live in-edges
+    starts = rip[nzv]
+    while nzv.size:
+        stats.color_passes += 1
+        seg_max = np.maximum.reduceat(color[rh], starts)
+        upd = seg_max > color[nzv]
+        if not upd.any():
+            break
+        color[nzv[upd]] = seg_max[upd]
+
+    active = np.flatnonzero(part >= 0)
+    roots = active[color[active] == active]
+
+    # Backward BFS from all roots along same-color edges = each root's SCC.
+    same = color[rt] == color[rh]
+    rt2, rh2 = rt[same], rh[same]
+    reach = _frontier_bfs(_csr_of(rt2, rh2, n, dtype=part.dtype), rh2, roots,
+                          part, scratch, stats)
+    members = np.flatnonzero(reach)
+    new_id, n_new = _bucket_ids(color[members], n)
+    comp[ids[members]] = n_comp + new_id
+    n_comp += n_new
+    part[members] = -1
+
+    # Remainders regroup by color class (color classes never straddle
+    # parts, and SCCs never straddle color classes).
+    remaining = np.flatnonzero(part >= 0)
+    if remaining.size:
+        new_part, n_parts = _bucket_ids(color[remaining], n)
+        part[remaining] = new_part
+    else:
+        n_parts = 0
+    return n_comp, n_parts
