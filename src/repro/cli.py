@@ -7,6 +7,7 @@ Thin argparse front-end over the library for shell pipelines::
     python -m repro coarsen dataset:soc-slashdot:exp -r 16 -o coarse.txt
     python -m repro estimate dataset:soc-slashdot:exp --seeds 1,2,3 --coarsen
     python -m repro maximize edges.txt -k 10 --algorithm dssa --coarsen
+    python -m repro lint src/repro
 
 Graphs are given either as an edge-list path (``u v [p]`` per line) or as
 ``dataset:NAME[:SETTING[:SEED]]`` referencing the built-in registry.
@@ -212,6 +213,12 @@ def _cmd_maximize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run as lint_run
+
+    return lint_run(args, args._lint_parser)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -274,6 +281,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_max.add_argument("--seed", type=int, default=0)
     _add_coarsen_arguments(p_max)
 
+    from .lint.cli import build_parser as lint_build_parser
+
+    p_lint = sub.add_parser(
+        "lint",
+        parents=[lint_build_parser()],
+        add_help=False,
+        help="run the reprolint invariant checks "
+             "(see docs/static-analysis.md)",
+    )
+    p_lint.set_defaults(_lint_parser=p_lint)
+
     return parser
 
 
@@ -283,6 +301,7 @@ _COMMANDS = {
     "coarsen": _cmd_coarsen,
     "estimate": _cmd_estimate,
     "maximize": _cmd_maximize,
+    "lint": _cmd_lint,
 }
 
 

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-
 from ..graph.influence_graph import InfluenceGraph
 from ..obs import STAGE_CONTRACT, StageTimes, inc, span
 from ..scc import DEFAULT_SCC_BACKEND

@@ -225,8 +225,12 @@ def _contract_streaming(
             for key, s in zip(uniq.tolist(), sums.tolist()):
                 agg[key] = agg.get(key, 0.0) + s
     if agg:
-        keys = np.fromiter(agg.keys(), dtype=np.int64, count=len(agg))
-        sums = np.fromiter(agg.values(), dtype=np.float64, count=len(agg))
+        # Sorted key order makes the on-disk edge order canonical instead of
+        # inheriting the (deterministic but chunking-dependent) dict
+        # insertion order.
+        keys = np.fromiter(sorted(agg.keys()), dtype=np.int64, count=len(agg))
+        sums = np.fromiter((agg[k] for k in keys.tolist()),
+                           dtype=np.float64, count=len(agg))
         q = -np.expm1(sums)
         q = np.clip(q, np.nextafter(0.0, 1.0), 1.0)
         out.append(keys // n_coarse, keys % n_coarse, q)

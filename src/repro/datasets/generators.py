@@ -118,7 +118,9 @@ def powerlaw_social_graph(
     for t in range(out_degree + 1, n):
         raw = rng.integers(0, len(pool), size=out_degree)
         targets = {pool[i] for i in raw.tolist()}
-        for v in targets:
+        # Sorted: set iteration order is a CPython implementation detail,
+        # and the reciprocity draws below consume the rng in target order.
+        for v in sorted(targets):
             tails.append(t)
             heads.append(v)
             pool.append(v)

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..graph.influence_graph import InfluenceGraph
 from ..obs import inc, span
-from ..rng import ensure_rng
+from ..rng import RngLike, ensure_rng
 from ..storage.triplet_store import DEFAULT_CHUNK_EDGES, PairStore, TripletStore
 
 __all__ = [
@@ -25,7 +25,7 @@ __all__ = [
 
 
 def sample_live_edge_mask(
-    graph: InfluenceGraph, rng: "int | np.random.Generator | None" = None
+    graph: InfluenceGraph, rng: RngLike = None
 ) -> np.ndarray:
     """A boolean keep-mask over the graph's edges, one Bernoulli per edge."""
     rng = ensure_rng(rng)
@@ -33,7 +33,7 @@ def sample_live_edge_mask(
 
 
 def sample_live_edge_csr(
-    graph: InfluenceGraph, rng: "int | np.random.Generator | None" = None
+    graph: InfluenceGraph, rng: RngLike = None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Sample a live-edge graph and return it as a ``(indptr, heads)`` CSR.
 
@@ -63,7 +63,7 @@ def live_edge_csr_from_mask(
 def sample_live_edge_store(
     source: TripletStore,
     dest_path: str,
-    rng: "int | np.random.Generator | None" = None,
+    rng: RngLike = None,
     chunk_edges: int = DEFAULT_CHUNK_EDGES,
 ) -> PairStore:
     """Stream-sample a live-edge graph from a disk-resident influence graph.

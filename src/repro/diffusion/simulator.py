@@ -20,7 +20,7 @@ import numpy as np
 
 from ..errors import AlgorithmError
 from ..graph.influence_graph import InfluenceGraph
-from ..rng import ensure_rng
+from ..rng import RngLike, ensure_rng
 from .reachability import gather_ranges
 
 __all__ = ["simulate_ic_once", "simulate_ic", "estimate_influence", "SimulationStats"]
@@ -38,7 +38,7 @@ class SimulationStats:
 def simulate_ic_once(
     graph: InfluenceGraph,
     seeds: np.ndarray,
-    rng: "int | np.random.Generator | None" = None,
+    rng: RngLike = None,
     stats: SimulationStats | None = None,
 ) -> np.ndarray:
     """Run one IC diffusion and return the boolean activation mask.
@@ -80,7 +80,7 @@ def simulate_ic(
     graph: InfluenceGraph,
     seeds: np.ndarray,
     n_simulations: int,
-    rng: "int | np.random.Generator | None" = None,
+    rng: RngLike = None,
     stats: SimulationStats | None = None,
 ) -> np.ndarray:
     """Run ``n_simulations`` IC diffusions; return the per-run spread weights.
@@ -101,7 +101,7 @@ def estimate_influence(
     graph: InfluenceGraph,
     seeds: np.ndarray,
     n_simulations: int = 10_000,
-    rng: "int | np.random.Generator | None" = None,
+    rng: RngLike = None,
     stats: SimulationStats | None = None,
 ) -> float:
     """The naive simulation estimator of ``Inf_G(S)`` (Section 3.2)."""

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
-
 from ..errors import GraphFormatError
 from .builder import GraphBuilder
 from .influence_graph import InfluenceGraph

@@ -1,0 +1,34 @@
+"""reprolint — AST-based invariant checks for the repro library.
+
+A zero-dependency static-analysis pass that machine-checks the promises
+the library's determinism story rests on: no oracle imports in library
+code (RL001), all randomness threaded through :mod:`repro.rng` (RL002),
+no hash-order leaks into ordered results (RL003), explicit dtypes in the
+kernel modules (RL004), monotonic-clock timing (RL005), and no silent
+exception swallowing (RL006).
+
+Run it with ``python -m repro.lint [paths]`` or ``repro lint``; suppress a
+single finding with ``# reprolint: disable=RL003 - justification``.  The
+rule catalogue lives in ``docs/static-analysis.md``.
+"""
+
+from .engine import (
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .reporting import render_json, render_text
+from .rules import RULES, default_rules, rule_ids
+
+__all__ = [
+    "Violation",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "RULES",
+    "default_rules",
+    "rule_ids",
+]

@@ -1,0 +1,95 @@
+"""``python -m repro.lint`` / ``repro lint`` entry point.
+
+Exit codes follow the usual linter convention: 0 clean, 1 violations
+found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .engine import lint_paths
+from .reporting import REPORTERS
+from .rules import RULES, rule_ids
+
+__all__ = ["build_parser", "main", "run"]
+
+
+def _default_target() -> Path:
+    """Lint the installed ``repro`` package when no path is given."""
+    return Path(__file__).resolve().parent.parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="reprolint: AST-based invariant checks for the repro "
+                    "library (see docs/static-analysis.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="report format (default %(default)s)",
+    )
+    parser.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _parse_rule_set(text: str, parser: argparse.ArgumentParser) -> set[str]:
+    wanted = {part.strip().upper() for part in text.split(",") if part.strip()}
+    known = set(rule_ids())
+    unknown = wanted - known
+    if unknown:
+        parser.error(
+            f"unknown rule id(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(rule_ids())}"
+        )
+    return wanted
+
+
+def run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return 0
+    rules = list(RULES)
+    if args.select:
+        keep = _parse_rule_set(args.select, parser)
+        rules = [r for r in rules if r.rule_id in keep]
+    if args.ignore:
+        drop = _parse_rule_set(args.ignore, parser)
+        rules = [r for r in rules if r.rule_id not in drop]
+    paths = [Path(p) for p in args.paths] or [_default_target()]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(map(str, missing))}")
+    violations = lint_paths(paths, rules=rules)
+    print(REPORTERS[args.format](violations))
+    return 1 if violations else 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return run(args, parser)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,258 @@
+"""Core of the ``reprolint`` static-analysis pass.
+
+The engine is deliberately tiny: it parses each file once with the stdlib
+:mod:`ast` module, hands the tree to every registered rule, and filters the
+reported violations through inline suppression comments.  Rules are pure
+functions of the parse tree plus a little file context (most importantly the
+path *relative to the repro package*, so path-scoped rules like RL004 can
+tell ``scc/fwbw.py`` apart from ``datasets/generators.py``).
+
+Suppression grammar (comments, parsed with :mod:`tokenize` so strings that
+merely *contain* the text do not count)::
+
+    x = risky()               # reprolint: disable=RL003 - justification
+    y = risky()               # reprolint: disable=RL003,RL005
+    # reprolint: disable-file=RL001 - whole-file waiver
+
+``disable`` applies to every line spanned by the violating statement;
+``disable-file`` applies to the whole file.  ``all`` is accepted in place of
+a rule list.  Every suppression should carry a justification after the rule
+ids — the grammar stops at the first token that is not a rule id or comma.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "Suppressions",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "package_relative",
+]
+
+#: Rule id used for files the engine cannot parse at all.
+PARSE_ERROR_RULE = "RL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*=\s*"
+    r"(?P<rules>[A-Za-z][A-Za-z0-9]*(?:\s*,\s*[A-Za-z][A-Za-z0-9]*)*)"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit: ``path:line:col: RLxxx message``."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    #: Last line of the offending statement; a suppression comment anywhere
+    #: in ``line..end_line`` silences the violation (multi-line calls).
+    end_line: int = 0
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Inline suppression state for one file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_level: set[str] = field(default_factory=set)
+
+    def silences(self, violation: Violation) -> bool:
+        if {"ALL", violation.rule_id} & self.file_level:
+            return True
+        last = max(violation.end_line, violation.line)
+        for line in range(violation.line, last + 1):
+            rules = self.by_line.get(line)
+            if rules and {"ALL", violation.rule_id} & rules:
+                return True
+        return False
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    display: str
+    source: str
+    tree: ast.Module
+    #: Path relative to the ``repro`` package root (``"scc/fwbw.py"``), or
+    #: relative to the scan root for files outside the package (so fixture
+    #: trees can mirror the package layout for path-scoped rules).
+    package_rel: str
+
+    def violation(self, node: ast.AST, rule_id: str, message: str) -> Violation:
+        return Violation(
+            path=self.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            message=message,
+            end_line=getattr(node, "end_lineno", 0) or 0,
+        )
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract ``# reprolint: disable=...`` comments via the tokenizer."""
+    supp = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            rules = {r.strip().upper() for r in match.group("rules").split(",")}
+            if match.group("kind") == "disable-file":
+                supp.file_level |= rules
+            else:
+                supp.by_line.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:
+        pass  # the ast parse will report the real problem
+    return supp
+
+
+def package_relative(path: Path, root: Path | None = None) -> str:
+    """Path relative to the ``repro`` package (or to the scan root).
+
+    ``src/repro/scc/fwbw.py`` -> ``scc/fwbw.py``.  Files outside a ``repro``
+    directory fall back to the path relative to ``root`` so that fixture
+    trees (``tests/lint_fixtures/scc/bad.py``) can opt into path-scoped
+    rules by mirroring the package layout.
+    """
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, 0, -1):
+        if parts[i - 1] == "repro":
+            return "/".join(parts[i:])
+    if root is not None:
+        try:
+            rel = path.resolve().relative_to(root.resolve())
+            return rel.as_posix()
+        except ValueError:
+            pass
+    return path.name
+
+
+def lint_source(
+    source: str,
+    display: str = "<string>",
+    package_rel: str | None = None,
+    rules: "Iterable[object] | None" = None,
+) -> list[Violation]:
+    """Lint one source string and return unsuppressed violations, sorted."""
+    from .rules import default_rules
+
+    active = list(default_rules() if rules is None else rules)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"could not parse file: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(
+        display=display,
+        source=source,
+        tree=tree,
+        package_rel=package_rel if package_rel is not None else display,
+    )
+    supp = parse_suppressions(source)
+    found: list[Violation] = []
+    for rule in active:
+        if not rule.applies(ctx):  # type: ignore[attr-defined]
+            continue
+        found.extend(rule.check(ctx))  # type: ignore[attr-defined]
+    return sorted(
+        (v for v in found if not supp.silences(v)),
+        key=Violation.sort_key,
+    )
+
+
+def lint_file(
+    path: Path,
+    root: Path | None = None,
+    rules: "Iterable[object] | None" = None,
+) -> list[Violation]:
+    """Lint one file on disk."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [
+            Violation(
+                path=str(path),
+                line=1,
+                col=1,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"could not read file: {exc}",
+            )
+        ]
+    return lint_source(
+        source,
+        display=str(path),
+        package_rel=package_relative(path, root),
+        rules=rules,
+    )
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[tuple[Path, Path]]:
+    """Yield ``(file, scan_root)`` for every ``.py`` under ``paths``.
+
+    Directories are walked recursively in sorted order so reports are stable
+    across filesystems; ``__pycache__`` is skipped.
+    """
+    for path in paths:
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if "__pycache__" in file.parts:
+                    continue
+                yield file, path
+        else:
+            yield path, path.parent
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: "Iterable[object] | None" = None,
+) -> list[Violation]:
+    """Lint every python file under ``paths``; returns sorted violations."""
+    from .rules import default_rules
+
+    active = list(default_rules() if rules is None else rules)
+    found: list[Violation] = []
+    for file, root in iter_python_files(paths):
+        found.extend(lint_file(file, root=root, rules=active))
+    return sorted(found, key=Violation.sort_key)

@@ -1,0 +1,45 @@
+"""Violation reporters: plain text (one line per hit) and JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from .engine import Violation
+
+__all__ = ["render_text", "render_json", "REPORTERS"]
+
+
+def render_text(violations: Iterable[Violation]) -> str:
+    """``path:line:col: RLxxx message`` per violation plus a tally line."""
+    violations = list(violations)
+    lines = [v.render() for v in violations]
+    if violations:
+        tally = Counter(v.rule_id for v in violations)
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(tally.items())
+        )
+        lines.append(
+            f"reprolint: {len(violations)} violation"
+            f"{'s' if len(violations) != 1 else ''} ({breakdown})"
+        )
+    else:
+        lines.append("reprolint: clean")
+    return "\n".join(lines)
+
+
+def render_json(violations: Iterable[Violation]) -> str:
+    """Machine-readable report: ``{"count": N, "violations": [...]}``."""
+    violations = list(violations)
+    return json.dumps(
+        {
+            "count": len(violations),
+            "violations": [v.as_dict() for v in violations],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+REPORTERS = {"text": render_text, "json": render_json}

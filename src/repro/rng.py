@@ -7,12 +7,16 @@ internal code always works with a ``Generator``.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-RngLike = "int | np.random.Generator | None"
+#: Anything the library accepts as a randomness source: a seed, an existing
+#: generator (threaded through unchanged), or ``None`` for a fresh stream.
+RngLike: TypeAlias = int | np.random.Generator | None
 
 
-def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``rng``.
 
     Parameters
@@ -29,7 +33,7 @@ def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Gene
     return np.random.default_rng(rng)
 
 
-def spawn_rngs(rng: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent child generators from ``rng``.
 
     Used by the parallel implementation (Algorithm 6) so every worker has an

@@ -49,8 +49,11 @@ DEFAULT_SCC_BACKEND = "fwbw"
 
 
 def _scipy_scc_labels(indptr: np.ndarray, heads: np.ndarray) -> np.ndarray:
-    from scipy.sparse import csr_array
-    from scipy.sparse.csgraph import connected_components
+    # The one sanctioned scipy touchpoint: an *optional* accelerator backend,
+    # imported lazily, never on the default path, and failing over to an
+    # AlgorithmError when scipy is absent (see scc_labels below).
+    from scipy.sparse import csr_array  # reprolint: disable=RL001 - optional backend
+    from scipy.sparse.csgraph import connected_components  # reprolint: disable=RL001 - optional backend
 
     n = indptr.size - 1
     data = np.ones(heads.size, dtype=np.int8)

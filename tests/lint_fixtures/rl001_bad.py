@@ -1,0 +1,11 @@
+"""RL001 violating fixture: oracle imports in library-looking code."""
+
+import networkx  # line 3: plain import
+
+from scipy.sparse import csr_array  # line 5: from-import
+
+
+def lazy_oracle():
+    import pandas as pd  # line 9: function-local import still counts
+
+    return pd, networkx, csr_array

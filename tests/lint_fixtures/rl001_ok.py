@@ -1,0 +1,9 @@
+"""RL001 clean fixture: only sanctioned dependencies."""
+
+import math
+
+import numpy as np
+
+
+def fine():
+    return math.sqrt(float(np.int64(4)))

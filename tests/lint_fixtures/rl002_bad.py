@@ -1,0 +1,22 @@
+"""RL002 violating fixture: ad-hoc randomness outside repro.rng."""
+
+import random  # line 3: stdlib random
+
+import numpy as np
+
+
+def fresh_generator():
+    return np.random.default_rng()  # line 9: ad-hoc generator
+
+
+def global_seed():
+    np.random.seed(42)  # line 13: global seeding
+
+
+def raw_draw(graph, rng=None):
+    return rng.random(graph.m)  # line 17: draw without ensure_rng
+
+
+def shuffled(items):
+    random.shuffle(items)
+    return items

@@ -1,0 +1,24 @@
+"""RL002 clean fixture: randomness threaded through repro.rng."""
+
+import numpy as np
+
+from repro.rng import ensure_rng, spawn_rngs
+
+
+def disciplined_draw(graph, rng=None):
+    rng = ensure_rng(rng)
+    return rng.random(graph.m)
+
+
+def workers(rng, count: int):
+    return [g.integers(0, 10) for g in spawn_rngs(rng, count)]
+
+
+def passthrough(graph, rng=None):
+    # Forwarding the raw parameter without drawing from it is fine.
+    return disciplined_draw(graph, rng)
+
+
+def typed(gen: np.random.Generator) -> float:
+    # Draws from a non-'rng'-named, already-normalised generator are fine.
+    return float(gen.random())

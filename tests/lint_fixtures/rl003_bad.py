@@ -1,0 +1,30 @@
+"""RL003 violating fixture: hash order leaking into ordered results."""
+
+
+def loop_over_set(vertices):
+    out = []
+    for v in {vertices[0], vertices[1]}:  # line 6: set literal in for
+        out.append(v)
+    return out
+
+
+def list_of_set(vertices):
+    return list(set(vertices))  # line 12: ordered builder over set(...)
+
+
+def tracked_name(vertices):
+    chosen = set(vertices)
+    for v in chosen:  # line 17: name assigned a set, then iterated
+        yield v
+
+
+def keys_to_array(np, table):
+    return np.fromiter(table.keys(), dtype=np.int64)  # line 22: dict view
+
+
+def comprehension(seen):
+    return [v for v in set(seen)]  # line 26: listcomp over set(...)
+
+
+def identity_sort(items):
+    return sorted(items, key=id)  # line 30: id()-keyed sort

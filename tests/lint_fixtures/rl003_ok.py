@@ -1,0 +1,32 @@
+"""RL003 clean fixture: canonical orders only."""
+
+
+def loop_sorted(vertices):
+    out = []
+    for v in sorted({vertices[0], vertices[1]}):
+        out.append(v)
+    return out
+
+
+def list_of_sorted(vertices):
+    return list(sorted(set(vertices)))
+
+
+def membership_only(vertices, candidates):
+    # Sets used for membership / difference never leak an order.
+    uncovered = set(vertices)
+    uncovered.difference_update(candidates)
+    return len(uncovered)
+
+
+def keys_sorted(np, table):
+    return np.fromiter(sorted(table.keys()), dtype=np.int64)
+
+
+def items_loop(table):
+    # dict .items()/.values() iteration is insertion-ordered: allowed.
+    return [f"{k}={v}" for k, v in table.items()]
+
+
+def value_sort(items):
+    return sorted(items, key=len)

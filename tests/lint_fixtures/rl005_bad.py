@@ -1,0 +1,11 @@
+"""RL005 violating fixture: wall clock used for durations."""
+
+import time
+
+from time import time as now  # line 5: from-import of time.time
+
+
+def timed_run(fn):
+    start = time.time()  # line 9: wall clock
+    fn()
+    return time.time() - start  # line 11: wall clock

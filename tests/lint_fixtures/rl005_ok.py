@@ -1,0 +1,16 @@
+"""RL005 clean fixture: monotonic clocks for durations."""
+
+import time
+from time import perf_counter
+
+
+def timed_run(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def timed_run_2(fn):
+    start = perf_counter()
+    fn()
+    return perf_counter() - start

@@ -1,0 +1,22 @@
+"""RL006 violating fixture: exception swallowing."""
+
+
+def swallow_everything(fn):
+    try:
+        fn()
+    except:  # line 7: bare except
+        return None
+
+
+def swallow_silently(fn):
+    try:
+        fn()
+    except Exception:  # line 14: broad catch, body is pass
+        pass
+
+
+def swallow_tuple(fn):
+    try:
+        fn()
+    except (ValueError, Exception):  # line 21: Exception hidden in tuple
+        ...

@@ -1,0 +1,11 @@
+"""RL004 violating fixture (lives under ``scc/`` to be in rule scope)."""
+
+import numpy as np
+
+
+def allocate(n):
+    frontier = np.empty(n)  # line 7: no dtype
+    labels = np.zeros(n)  # line 8: no dtype
+    order = np.arange(n)  # line 9: no dtype
+    fill = np.full(n, -1)  # line 10: no dtype
+    return frontier, labels, order, fill

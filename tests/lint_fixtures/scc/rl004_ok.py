@@ -1,0 +1,12 @@
+"""RL004 clean fixture: every kernel allocation pins its dtype."""
+
+import numpy as np
+
+
+def allocate(n):
+    frontier = np.empty(n, dtype=np.int32)
+    labels = np.zeros(n, dtype=np.int64)
+    order = np.arange(n, dtype=np.int64)
+    fill = np.full(n, -1, dtype=np.int32)
+    mask = np.asarray([0] * n)  # asarray infers from data: out of scope
+    return frontier, labels, order, fill, mask

@@ -1,0 +1,34 @@
+"""Suppression fixture: every violation here carries a justified waiver."""
+
+import networkx  # reprolint: disable=RL001 - fixture exercising suppression
+
+import numpy as np
+
+
+def fresh():
+    return np.random.default_rng()  # reprolint: disable=RL002 - fixture
+
+
+def multiline(table):
+    return np.fromiter(  # reprolint: disable=RL003 - canonicalised later
+        table.keys(),
+        dtype=np.int64,
+    )
+
+
+def multiline_tail_comment(table):
+    return np.fromiter(
+        table.keys(),
+        dtype=np.int64,
+    )  # reprolint: disable=RL003 - comment on the statement's last line
+
+
+def several(items):
+    return list(set(items)), sorted(items, key=id)  # reprolint: disable=RL003,RL003
+
+
+def everything(fn):
+    try:
+        fn()
+    except:  # reprolint: disable=all - fixture
+        return networkx

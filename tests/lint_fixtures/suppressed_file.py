@@ -1,0 +1,12 @@
+# reprolint: disable-file=RL005 - fixture: whole-file wall-clock waiver
+"""File-level suppression fixture."""
+
+import time
+
+
+def a():
+    return time.time()
+
+
+def b():
+    return time.time()

@@ -17,13 +17,17 @@ from repro.datasets import load_dataset
 # (dataset, setting) -> (n, m, |W|, |F|) at r=16, topology seed 0, coarsen
 # seed 0.  Table 3's measured values come from exactly these runs.
 GOLDEN_COARSENING = {
+    # Re-pinned after the preferential-attachment generator switched to
+    # sorted target iteration (reprolint RL003): set iteration order was a
+    # CPython implementation detail the rng consumption sequence leaked
+    # through.  Same distribution family, new pinned draw.
     ("ca-hepph", "exp"): (4249, 76110, 3667, 25968),
-    ("soc-slashdot", "exp"): (3000, 71044, 2731, 24418),
+    ("soc-slashdot", "exp"): (3000, 70815, 2731, 24385),
     ("web-notredame", "exp"): (3200, 28280, 3167, 22629),
-    ("wiki-talk", "exp"): (6000, 19153, 5913, 11850),
-    ("soc-slashdot", "tri"): (3000, 71044, 2797, 29588),
-    ("soc-slashdot", "uc"): (3000, 71044, 2731, 24418),
-    ("soc-slashdot", "wc"): (3000, 71044, 3000, 71044),
+    ("wiki-talk", "exp"): (6000, 19180, 5912, 11927),
+    ("soc-slashdot", "tri"): (3000, 70815, 2790, 29432),
+    ("soc-slashdot", "uc"): (3000, 70815, 2731, 24385),
+    ("soc-slashdot", "wc"): (3000, 70815, 3000, 70815),
 }
 
 

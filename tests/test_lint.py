@@ -1,0 +1,202 @@
+"""Tests for reprolint (``repro.lint``): rules, suppressions, CLI, and the
+self-check that the library itself is clean.
+
+The fixture corpus lives in ``tests/lint_fixtures/`` — one violating and
+one clean file per rule (RL004's pair sits under ``scc/`` because the rule
+is path-scoped to the kernel modules), plus two suppression fixtures.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+import repro
+from repro.lint import (
+    RULES,
+    Violation,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    rule_ids,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import package_relative, parse_suppressions
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "lint_fixtures"
+PACKAGE_DIR = pathlib.Path(repro.__file__).resolve().parent
+
+
+def lint_fixture(name: str) -> list[Violation]:
+    path = FIXTURES / name
+    return lint_source(
+        path.read_text(encoding="utf-8"),
+        display=name,
+        package_rel=package_relative(path, FIXTURES),
+    )
+
+
+def hits(name: str, rule_id: str) -> list[tuple[str, int]]:
+    return [
+        (v.rule_id, v.line) for v in lint_fixture(name) if v.rule_id == rule_id
+    ]
+
+
+# (rule, bad fixture, expected violation lines, clean fixture)
+RULE_CASES = [
+    ("RL001", "rl001_bad.py", [3, 5, 9], "rl001_ok.py"),
+    ("RL002", "rl002_bad.py", [3, 9, 13, 17], "rl002_ok.py"),
+    ("RL003", "rl003_bad.py", [6, 12, 17, 22, 26, 30], "rl003_ok.py"),
+    ("RL004", "scc/rl004_bad.py", [7, 8, 9, 10], "scc/rl004_ok.py"),
+    ("RL005", "rl005_bad.py", [5, 9, 11], "rl005_ok.py"),
+    ("RL006", "rl006_bad.py", [7, 14, 21], "rl006_ok.py"),
+]
+
+
+class TestRules:
+    @pytest.mark.parametrize(
+        "rule_id,bad,lines,ok", RULE_CASES, ids=[c[0] for c in RULE_CASES]
+    )
+    def test_rule_fires_with_id_and_lines(self, rule_id, bad, lines, ok):
+        assert hits(bad, rule_id) == [(rule_id, line) for line in lines]
+
+    @pytest.mark.parametrize(
+        "rule_id,bad,lines,ok", RULE_CASES, ids=[c[0] for c in RULE_CASES]
+    )
+    def test_clean_fixture_is_clean(self, rule_id, bad, lines, ok):
+        assert lint_fixture(ok) == []
+
+    @pytest.mark.parametrize(
+        "rule_id,bad,lines,ok", RULE_CASES, ids=[c[0] for c in RULE_CASES]
+    )
+    def test_bad_fixture_violates_only_its_own_rule(
+        self, rule_id, bad, lines, ok
+    ):
+        assert {v.rule_id for v in lint_fixture(bad)} == {rule_id}
+
+    def test_rule_catalogue(self):
+        assert rule_ids() == [
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        ]
+        for rule in RULES:
+            assert rule.title and rule.rationale
+
+    def test_rl004_is_scoped_to_kernel_paths(self):
+        source = (FIXTURES / "scc/rl004_bad.py").read_text(encoding="utf-8")
+        # Same code outside scc/ or core/ is out of the rule's scope.
+        assert lint_source(source, package_rel="datasets/generators.py") == []
+        assert lint_source(source, package_rel="core/coarsen.py") != []
+
+    def test_rl002_exempts_rng_module(self):
+        source = "import numpy as np\ngen = np.random.default_rng(0)\n"
+        assert lint_source(source, package_rel="rng.py") == []
+        assert [v.rule_id for v in lint_source(source, package_rel="x.py")] \
+            == ["RL002"]
+
+    def test_syntax_error_reports_rl000(self):
+        (violation,) = lint_source("def broken(:\n", display="broken.py")
+        assert violation.rule_id == "RL000"
+        assert "parse" in violation.message
+
+
+class TestSuppressions:
+    def test_inline_and_file_level_suppressions_silence(self):
+        assert lint_fixture("suppressed.py") == []
+        assert lint_fixture("suppressed_file.py") == []
+
+    def test_without_comment_the_same_code_fires(self):
+        source = (FIXTURES / "suppressed.py").read_text(encoding="utf-8")
+        stripped = "\n".join(
+            line.split("# reprolint:")[0] for line in source.splitlines()
+        )
+        found = {v.rule_id for v in lint_source(stripped)}
+        assert {"RL001", "RL002", "RL003", "RL006"} <= found
+
+    def test_wrong_rule_id_does_not_silence(self):
+        source = "import networkx  # reprolint: disable=RL005 - wrong id\n"
+        assert [v.rule_id for v in lint_source(source)] == ["RL001"]
+
+    def test_suppression_in_string_literal_is_ignored(self):
+        source = 'x = "# reprolint: disable-file=all"\nimport networkx\n'
+        assert [v.rule_id for v in lint_source(source)] == ["RL001"]
+
+    def test_parse_suppressions_grammar(self):
+        supp = parse_suppressions(
+            "x = 1  # reprolint: disable=RL001, RL003 - justification\n"
+            "# reprolint: disable-file=RL005\n"
+        )
+        assert supp.by_line == {1: {"RL001", "RL003"}}
+        assert supp.file_level == {"RL005"}
+
+
+class TestReporters:
+    def test_text_report_format(self):
+        violations = lint_paths([FIXTURES / "rl001_bad.py"])
+        text = render_text(violations)
+        assert "rl001_bad.py:3:1: RL001" in text
+        assert "3 violations (RL001 x3)" in text
+        assert render_text([]) == "reprolint: clean"
+
+    def test_json_report_round_trips(self):
+        violations = lint_paths([FIXTURES / "rl001_bad.py"])
+        payload = json.loads(render_json(violations))
+        assert payload["count"] == 3
+        assert payload["violations"][0]["rule"] == "RL001"
+        assert payload["violations"][0]["line"] == 3
+
+
+class TestCli:
+    def test_fixtures_exit_nonzero_with_rule_ids(self, capsys):
+        assert lint_main([str(FIXTURES)]) == 1
+        out = capsys.readouterr().out
+        for rule_id in rule_ids():
+            assert rule_id in out
+
+    def test_clean_path_exits_zero(self, capsys):
+        assert lint_main([str(FIXTURES / "rl001_ok.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_select_restricts_rules(self, capsys):
+        assert lint_main([str(FIXTURES), "--select", "RL004"]) == 1
+        out = capsys.readouterr().out
+        assert "RL004" in out and "RL001" not in out
+
+    def test_ignore_drops_rules(self, capsys):
+        code = lint_main(
+            [str(FIXTURES / "rl001_bad.py"), "--ignore", "RL001"]
+        )
+        assert code == 0
+
+    def test_unknown_rule_id_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            lint_main([str(FIXTURES), "--select", "RL999"])
+        assert exc.value.code == 2
+
+    def test_json_format(self, capsys):
+        assert lint_main([str(FIXTURES), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] > 0
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "RL001" in out and "RL006" in out
+
+    def test_repro_lint_subcommand(self, capsys):
+        from repro.cli import main as repro_main
+
+        assert repro_main(["lint", str(FIXTURES / "rl001_ok.py")]) == 0
+        assert repro_main(["lint", str(FIXTURES / "rl001_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "RL001" in out
+
+
+class TestSelfCheck:
+    def test_library_is_reprolint_clean(self):
+        violations = lint_paths([PACKAGE_DIR])
+        assert violations == [], "\n" + render_text(violations)
+
+    def test_default_cli_target_is_the_package(self, capsys):
+        assert lint_main([]) == 0
+        assert "clean" in capsys.readouterr().out
