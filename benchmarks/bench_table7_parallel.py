@@ -1,96 +1,196 @@
 """Table 7 — parallel implementations (Algorithm 6, Appendix C.1).
 
 Paper: run time of the shared-memory (OpenMP) and distributed-memory (MPI)
-parallelisations of both implementations with 1/4/16 threads; shapes: 3-4x
-speed-up at 16 threads, the distributed variant pays communication overhead
-on the linear-space side but wins for sublinear space.
+parallelisations with 1/4/16 threads; shapes: 3-4x speed-up at 16 threads,
+the distributed variant pays communication overhead on the linear-space
+side but wins for sublinear space.
 
 Here the shared-memory variant maps to a thread pool and the distributed
-one to a process pool (the graph is shipped to each worker, as the paper's
-master ships it to MPI slaves).  NOTE: this container exposes a single CPU
-core, so wall-clock speed-ups cannot materialise — the table demonstrates
-overhead behaviour at 1 core and the test asserts correctness-of-structure
-only (identical coarsening output is separately unit-tested).
+one to a process pool whose workers attach the CSR arrays through a
+zero-copy ``multiprocessing.shared_memory`` broadcast (``repro.graph.shm``)
+— the graph crosses the process boundary exactly once per pool, asserted
+through the ``coarsen.parallel.broadcast_bytes`` metric rather than
+timing.  The bench sweeps executors x workers over generated graphs of
+increasing size (the same synthetic SCC workload as
+``bench_ablation_scc``), prints the Table-7 analogue, and writes two
+artefacts: the per-bench archive under ``benchmarks/results/`` and the
+machine-readable repo-root ``BENCH_parallel.json`` (schema documented in
+``docs/performance.md``).
+
+CI runs ``python benchmarks/bench_table7_parallel.py --quick`` as a
+correctness canary: one small graph, all three executors, byte-identical
+coarse CSRs and exactly-once broadcast accounting asserted, no timing
+assertions and no files written.
+
+NOTE on hosts with one CPU core (such as this container): wall-clock
+speed-up is physically impossible, so the process-vs-serial comparison is
+recorded in the JSON ``acceptance`` block but only *asserted* when
+``os.cpu_count() > 1``.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 import time
+import zlib
 
+from repro import obs
 from repro.bench import format_seconds, render_table, save_json
 from repro.core import coarsen_influence_graph_parallel
-from repro.datasets import load_dataset
 
-from conftest import dataset_names, results_path, run_once
+from bench_ablation_scc import generated_graph
+from conftest import results_path, run_once
 
 R = 16
-WORKER_COUNTS = (1, 4, 16)
-DATASETS = ("ca-hepph", "soc-slashdot", "higgs-twitter", "twitter-2010")
+EXECUTORS = ("serial", "thread", "process")
+WORKER_COUNTS = (1, 2, 4)
+REPS = 2
+
+#: (name, n, m) ascending; the largest is the acceptance-gate graph.
+GENERATED_SIZES = (
+    ("gen-20k-100k", 20_000, 100_000),
+    ("gen-60k-300k", 60_000, 300_000),
+    ("gen-120k-600k", 120_000, 600_000),
+)
+QUICK_SIZES = (("gen-2k-8k", 2_000, 8_000),)
+
+ROOT_JSON = os.path.join(os.path.dirname(__file__), os.pardir,
+                         "BENCH_parallel.json")
 
 
-def generate() -> dict:
-    rows = []
-    raw: dict = {}
-    available = set(dataset_names())
+def _csr_payload_bytes(graph) -> int:
+    return 8 * (graph.n + 1) + 16 * graph.m
+
+
+def _run_cell(graph, executor: str, workers: int, reps: int) -> dict:
+    """One (executor, workers) cell: best-of-``reps`` wall time plus the
+    broadcast accounting captured through an isolated metrics registry."""
+    best = float("inf")
+    cell: dict = {}
+    for _ in range(reps):
+        registry = obs.MetricsRegistry()
+        t0 = time.perf_counter()
+        with obs.use_metrics(registry):
+            res = coarsen_influence_graph_parallel(
+                graph, r=R, workers=workers, rng=0, executor=executor
+            )
+        seconds = time.perf_counter() - t0
+        broadcast = registry.counter("coarsen.parallel.broadcast_bytes")
+        if executor == "process":
+            # The tentpole invariant: the whole graph is serialised exactly
+            # once per pool — one shared segment, nothing per task.
+            assert broadcast == _csr_payload_bytes(graph), (
+                executor, workers, broadcast)
+        else:
+            assert broadcast == 0, (executor, workers, broadcast)
+        best = min(best, seconds)
+        cell = {
+            "seconds": seconds,
+            "coarse_n": res.coarse.n,
+            "coarse_m": res.coarse.m,
+            "workers_effective": res.stats.extras["workers"],
+            "meet_tree_depth": res.stats.extras["meet_tree_depth"],
+            "broadcast_bytes": broadcast,
+            "labels_digest": zlib.crc32(res.partition.labels.tobytes()),
+        }
+    cell["seconds"] = best
+    return cell
+
+
+def generate(quick: bool = False) -> dict:
+    sizes = QUICK_SIZES if quick else GENERATED_SIZES
+    reps = 1 if quick else REPS
     cores = os.cpu_count() or 1
-    for name in DATASETS:
-        if name not in available:
-            continue
-        graph = load_dataset(name, "exp", seed=0)
-        raw[name] = {"cores": cores}
-        cells = [name]
-        for executor in ("thread", "process"):
+    raw: dict = {
+        "schema": "bench_parallel/v1",
+        "cores": cores,
+        "r": R,
+        "worker_counts": list(WORKER_COUNTS),
+        "graphs": [],
+    }
+    rows = []
+    for name, n, m in sizes:
+        graph = generated_graph(n, m)
+        entry: dict = {"name": name, "n": graph.n, "m": graph.m,
+                       "csr_payload_bytes": _csr_payload_bytes(graph),
+                       "cells": {}}
+        for executor in EXECUTORS:
+            cells = [name, executor]
             for workers in WORKER_COUNTS:
-                if executor == "process" and workers > 4:
-                    # the paper's MPI run uses a fixed slave count; spawning
-                    # 16 python processes on one core only measures noise
-                    cells.append("-")
-                    continue
-                t0 = time.perf_counter()
-                res = coarsen_influence_graph_parallel(
-                    graph, r=R, workers=workers, rng=0, executor=executor
-                )
-                seconds = time.perf_counter() - t0
-                raw[name][f"{executor}-{workers}"] = {
-                    "seconds": seconds,
-                    "coarse_n": res.coarse.n,
-                    "coarse_m": res.coarse.m,
-                }
-                cells.append(format_seconds(seconds))
-        rows.append(cells)
+                cell = _run_cell(graph, executor, workers, reps)
+                entry["cells"][f"{executor}-{workers}"] = cell
+                cells.append(format_seconds(cell["seconds"]))
+            rows.append(cells)
+        # Cross-executor determinism: for a fixed (r, workers, seed) all
+        # three executors must produce the identical partition and coarse
+        # CSR (unit tests pin array equality; here the digest + sizes).
+        for workers in WORKER_COUNTS:
+            reference = entry["cells"][f"serial-{workers}"]
+            for executor in ("thread", "process"):
+                cell = entry["cells"][f"{executor}-{workers}"]
+                for key in ("coarse_n", "coarse_m", "labels_digest"):
+                    assert cell[key] == reference[key], (name, executor,
+                                                        workers, key)
+        raw["graphs"].append(entry)
+
+    largest = raw["graphs"][-1]
+    raw["acceptance"] = {
+        "graph": largest["name"],
+        "serial_4_seconds": largest["cells"]["serial-4"]["seconds"],
+        "process_4_seconds": largest["cells"]["process-4"]["seconds"],
+        "process_4_le_serial_4": (
+            largest["cells"]["process-4"]["seconds"]
+            <= largest["cells"]["serial-4"]["seconds"]
+        ),
+    }
+
     table = render_table(
-        f"Table 7: parallel implementations (r={R}, EXP; host has "
-        f"{cores} core(s))",
-        ["dataset",
-         "shared x1", "shared x4", "shared x16",
-         "distributed x1", "distributed x4", "distributed x16"],
+        f"Table 7: parallel implementations (r={R}, EXP analogue; host has "
+        f"{cores} core(s); zero-copy shm broadcast for 'process')",
+        ["graph", "executor"] + [f"x{w}" for w in WORKER_COUNTS],
         rows,
     )
     print(table)
-    save_json(raw, results_path("table7.json"))
-    with open(results_path("table7.txt"), "w", encoding="utf-8") as handle:
-        handle.write(table + "\n")
+    acc = raw["acceptance"]
+    print(f"acceptance[{acc['graph']}]: process-4 "
+          f"{format_seconds(acc['process_4_seconds'])} vs serial-4 "
+          f"{format_seconds(acc['serial_4_seconds'])} "
+          f"(process <= serial: {acc['process_4_le_serial_4']})")
+    if cores == 1:
+        print("note: single-core host — parallel wall-clock gains are "
+              "physically impossible; the numbers above measure overhead "
+              "(see docs/performance.md).")
+
+    if not quick:
+        save_json(raw, results_path("table7.json"))
+        with open(results_path("table7.txt"), "w", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+        save_json(raw, ROOT_JSON)
+        if cores > 1:
+            assert raw["acceptance"]["process_4_le_serial_4"], raw["acceptance"]
     return raw
 
 
 def bench_table7_parallel(benchmark):
     raw = run_once(benchmark, generate)
-    for name, row in raw.items():
-        # For a fixed worker count and seed, thread and process executors
-        # must produce the identical coarsened graph (same derived RNG
-        # streams); exact partition equality is covered by unit tests.
+    assert raw["schema"] == "bench_parallel/v1"
+    for entry in raw["graphs"]:
         for workers in WORKER_COUNTS:
-            t = row.get(f"thread-{workers}")
-            p = row.get(f"process-{workers}")
-            if t and p:
-                assert (t["coarse_n"], t["coarse_m"]) == (
-                    p["coarse_n"], p["coarse_m"],
-                ), (name, workers)
-        if row["cores"] > 1:
+            t = entry["cells"][f"thread-{workers}"]
+            p = entry["cells"][f"process-{workers}"]
+            # Identical coarsening output per worker count (same derived
+            # RNG streams, exact meet tree); broadcast accounting holds.
+            assert (t["coarse_n"], t["coarse_m"]) == (
+                p["coarse_n"], p["coarse_m"]), (entry["name"], workers)
+            assert p["broadcast_bytes"] == entry["csr_payload_bytes"]
+            assert t["broadcast_bytes"] == 0
+        if raw["cores"] > 1:
             # With real cores, 4 threads must beat 1 (the paper's shape).
-            assert row["thread-4"]["seconds"] < row["thread-1"]["seconds"]
+            cells = entry["cells"]
+            assert (cells["thread-4"]["seconds"]
+                    < cells["thread-1"]["seconds"]), entry["name"]
 
 
 if __name__ == "__main__":
-    generate()
+    generate(quick="--quick" in sys.argv)

@@ -18,7 +18,7 @@ from .frameworks import (
 )
 from .linear_space import coarsen_influence_graph
 from .persistence import load_coarsening, save_coarsening
-from .parallel import coarsen_influence_graph_parallel, split_rounds
+from .parallel import GraphHandle, coarsen_influence_graph_parallel, split_rounds
 from .result import CoarsenResult, CoarsenStats
 from .robust_scc import robust_scc_partition, robust_scc_refinement_sequence
 from .tuning import RSweepPoint, r_sweep
@@ -37,6 +37,7 @@ __all__ = [
     "coarsen_influence_graph_sublinear",
     "coarsen_influence_graph_parallel",
     "split_rounds",
+    "GraphHandle",
     "SublinearResult",
     "CoarsenResult",
     "CoarsenStats",

@@ -8,7 +8,20 @@ and the run statistics — so later sessions (or other processes) can load it
 without recomputing.
 
 Format: numpy's compressed archive with a format-version field; refuses to
-load archives written by a newer layout.
+load archives written by a newer layout.  Version history:
+
+* **v1** — CSR arrays, ``pi``, and the scalar :class:`CoarsenStats`
+  fields.
+* **v2** — adds ``stage_seconds`` (the per-stage wall-time breakdown) and
+  ``extras`` (run provenance: workers/executor/rounds for parallel runs,
+  ``f_prime_edges`` for sublinear runs, ...) to the JSON meta blob, so a
+  round trip is lossless for every stats field.  v1 archives still load —
+  the two dicts simply come back empty.
+
+Paths are normalised to carry the ``.npz`` suffix *before* hitting numpy:
+``np.savez_compressed`` silently appends it, so without normalisation
+``save_coarsening(p)`` followed by ``load_coarsening(p)`` would look for a
+file that was never written and die with a confusing ``FileNotFoundError``.
 """
 
 from __future__ import annotations
@@ -25,11 +38,35 @@ from .result import CoarsenResult, CoarsenStats
 
 __all__ = ["save_coarsening", "load_coarsening"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+
+def _resolve_archive_path(path: "str | os.PathLike[str]") -> str:
+    """The path numpy will actually read/write (``.npz`` suffix enforced)."""
+    resolved = os.fspath(path)
+    if not resolved.endswith(".npz"):
+        resolved += ".npz"
+    return resolved
+
+
+def _json_scalar(obj):
+    """Coerce numpy scalars/arrays hiding in stats dicts into JSON types."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"{type(obj).__name__} is not JSON-serialisable")
 
 
 def save_coarsening(result: CoarsenResult, path: "str | os.PathLike[str]") -> None:
-    """Write ``result`` to ``path`` (a ``.npz`` archive)."""
+    """Write ``result`` to ``path`` (a ``.npz`` archive).
+
+    A missing ``.npz`` suffix is appended — the archive always lands at the
+    name :func:`load_coarsening` will resolve for the same ``path``.
+    """
+    resolved = _resolve_archive_path(path)
     stats = result.stats
     meta = {
         "version": _FORMAT_VERSION,
@@ -40,10 +77,18 @@ def save_coarsening(result: CoarsenResult, path: "str | os.PathLike[str]") -> No
         "input_edges": stats.input_edges,
         "output_vertices": stats.output_vertices,
         "output_edges": stats.output_edges,
+        "stage_seconds": stats.stage_seconds,
+        "extras": stats.extras,
     }
+    try:
+        blob = json.dumps(meta, default=_json_scalar).encode("utf-8")
+    except TypeError as exc:
+        raise GraphFormatError(
+            f"{resolved}: stats contain non-serialisable values ({exc})"
+        ) from exc
     np.savez_compressed(
-        path,
-        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        resolved,
+        meta=np.frombuffer(blob, dtype=np.uint8),
         indptr=result.coarse.indptr,
         heads=result.coarse.heads,
         probs=result.coarse.probs,
@@ -54,15 +99,29 @@ def save_coarsening(result: CoarsenResult, path: "str | os.PathLike[str]") -> No
 
 def load_coarsening(path: "str | os.PathLike[str]") -> CoarsenResult:
     """Load a :class:`CoarsenResult` previously written by
-    :func:`save_coarsening`."""
-    with np.load(path) as archive:
+    :func:`save_coarsening`.
+
+    Accepts the same ``path`` value that was passed to
+    :func:`save_coarsening` — with or without the ``.npz`` suffix — and
+    reports the *resolved* name when the archive is missing or malformed.
+    """
+    resolved = _resolve_archive_path(path)
+    try:
+        archive_ctx = np.load(resolved)
+    except FileNotFoundError as exc:
+        raise GraphFormatError(
+            f"{resolved}: no such coarsening archive"
+        ) from exc
+    with archive_ctx as archive:
         try:
             meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
         except (KeyError, ValueError) as exc:
-            raise GraphFormatError(f"{path}: not a repro coarsening archive") from exc
+            raise GraphFormatError(
+                f"{resolved}: not a repro coarsening archive"
+            ) from exc
         if meta.get("version", 0) > _FORMAT_VERSION:
             raise GraphFormatError(
-                f"{path}: written by a newer format "
+                f"{resolved}: written by a newer format "
                 f"(version {meta['version']} > {_FORMAT_VERSION})"
             )
         coarse = InfluenceGraph(
@@ -78,6 +137,9 @@ def load_coarsening(path: "str | os.PathLike[str]") -> CoarsenResult:
         input_edges=int(meta["input_edges"]),
         output_vertices=int(meta["output_vertices"]),
         output_edges=int(meta["output_edges"]),
+        # v1 archives predate these fields; they load as empty dicts.
+        stage_seconds=dict(meta.get("stage_seconds") or {}),
+        extras=dict(meta.get("extras") or {}),
     )
     return CoarsenResult(
         coarse=coarse, pi=pi, partition=Partition(pi), stats=stats

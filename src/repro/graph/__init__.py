@@ -1,8 +1,14 @@
-"""Graph substrate: CSR influence graphs, builders, and I/O."""
+"""Graph substrate: CSR influence graphs, builders, I/O, and shared memory."""
 
 from .builder import GraphBuilder, combine_parallel_edges
 from .influence_graph import InfluenceGraph
 from .io import read_edge_list, write_edge_list
+from .shm import (
+    SharedGraph,
+    SharedGraphSpec,
+    attach_shared_graph,
+    detach_shared_graphs,
+)
 
 __all__ = [
     "InfluenceGraph",
@@ -10,4 +16,8 @@ __all__ = [
     "combine_parallel_edges",
     "read_edge_list",
     "write_edge_list",
+    "SharedGraph",
+    "SharedGraphSpec",
+    "attach_shared_graph",
+    "detach_shared_graphs",
 ]

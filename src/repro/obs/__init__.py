@@ -49,6 +49,7 @@ from .runtime import (
 )
 from .sinks import JsonlSink, ListSink, NullSink, Sink
 from .stages import (
+    STAGE_BROADCAST,
     STAGE_CONTRACT,
     STAGE_MEET,
     STAGE_SAMPLE,
@@ -92,4 +93,5 @@ __all__ = [
     "STAGE_SCC",
     "STAGE_MEET",
     "STAGE_CONTRACT",
+    "STAGE_BROADCAST",
 ]

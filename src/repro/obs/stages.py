@@ -11,10 +11,13 @@ when no tracer is installed.
 
 Canonical stage keys (see ``docs/observability.md``):
 
-``sample``    drawing a live-edge graph from ``D_G``;
-``scc``       labelling one sample's strongly connected components;
-``meet``      folding a sample partition into the running meet;
-``contract``  building ``H`` from the final partition (second stage).
+``sample``     drawing a live-edge graph from ``D_G``;
+``scc``        labelling one sample's strongly connected components;
+``meet``       folding a sample partition into the running meet;
+``contract``   building ``H`` from the final partition (second stage);
+``broadcast``  publishing the CSR arrays to shared memory (Algorithm 6's
+               process executor only — the master-to-worker graph
+               broadcast of Appendix C.1).
 """
 
 from __future__ import annotations
@@ -25,12 +28,20 @@ from typing import Any, Iterator
 
 from .runtime import span
 
-__all__ = ["StageTimes", "STAGE_SAMPLE", "STAGE_SCC", "STAGE_MEET", "STAGE_CONTRACT"]
+__all__ = [
+    "StageTimes",
+    "STAGE_SAMPLE",
+    "STAGE_SCC",
+    "STAGE_MEET",
+    "STAGE_CONTRACT",
+    "STAGE_BROADCAST",
+]
 
 STAGE_SAMPLE = "sample"
 STAGE_SCC = "scc"
 STAGE_MEET = "meet"
 STAGE_CONTRACT = "contract"
+STAGE_BROADCAST = "broadcast"
 
 
 class StageTimes:

@@ -19,14 +19,14 @@ Two meet implementations are provided:
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..errors import PartitionError
 from ..obs import inc, span
 
-__all__ = ["Partition", "meet_labels", "meet_labels_hash"]
+__all__ = ["Partition", "meet_all", "meet_labels", "meet_labels_hash"]
 
 
 def meet_labels(p: np.ndarray, q: np.ndarray) -> np.ndarray:
@@ -69,6 +69,48 @@ def meet_labels_hash(p: np.ndarray, q: np.ndarray) -> np.ndarray:
             next_label += 1
         out[v] = label
     return out
+
+
+def _meet_pair(pair: "tuple[Partition, Partition]") -> "Partition":
+    a, b = pair
+    return a.meet(b)
+
+
+def meet_all(
+    partitions: "Sequence[Partition]",
+    map_fn: "Callable[..., Iterable[Partition]] | None" = None,
+) -> "Partition":
+    """Pairwise tree reduction ``p_0 ∧ p_1 ∧ ... ∧ p_{k-1}``.
+
+    Meet is associative and commutative (Theorem 4.11), so the reduction
+    tree may be reshaped freely: the result is *identical* to the left
+    fold — canonical labels depend only on the final blocks, not on the
+    order the meets were taken in.  The tree shape cuts the sequential
+    meet depth from ``k - 1`` to ``ceil(log2 k)`` and pairs same-size
+    inputs, which keeps intermediate block counts (and hence the packed
+    ``np.unique`` key domain) small.
+
+    ``map_fn`` runs one level's independent pair-meets concurrently — pass
+    ``ThreadPoolExecutor.map`` to overlap them (the numpy kernels release
+    the GIL for the heavy sorts).  The default is the builtin serial
+    ``map``.  An odd partition is carried to the next level unmerged.
+
+    Emits a ``meet_tree`` span and bumps the ``meet.tree_depth`` counter
+    by the number of levels reduced.
+    """
+    if not partitions:
+        raise PartitionError("meet_all needs at least one partition")
+    level = list(partitions)
+    run_level = map_fn if map_fn is not None else map
+    depth = 0
+    with span("meet_tree", count=len(level)):
+        while len(level) > 1:
+            pairs = list(zip(level[0::2], level[1::2]))
+            carry = [level[-1]] if len(level) % 2 else []
+            level = list(run_level(_meet_pair, pairs)) + carry
+            depth += 1
+    inc("meet.tree_depth", depth)
+    return level[0]
 
 
 def _canonicalize(labels: np.ndarray) -> np.ndarray:

@@ -121,7 +121,19 @@ class TestParallel:
         assert split_rounds(16, 4) == [4, 4, 4, 4]
         assert sum(split_rounds(10, 3)) == 10
         assert max(split_rounds(10, 3)) - min(split_rounds(10, 3)) <= 1
-        assert split_rounds(2, 4) == [0, 0, 1, 1]
+
+    def test_split_rounds_clamps_surplus_workers(self):
+        # workers > r used to spawn zero-sample workers that still drew
+        # seeds and occupied pool slots; now the pool shrinks to r.
+        assert split_rounds(2, 4) == [1, 1]
+        assert split_rounds(3, 16) == [1, 1, 1]
+        for r in range(1, 12):
+            counts = split_rounds(r, 64)
+            assert min(counts) >= 1
+            assert sum(counts) == r
+
+    def test_split_rounds_r_zero_keeps_trivial_semantics(self):
+        assert split_rounds(0, 4) == [0]
 
     def test_split_rounds_rejects_zero_workers(self):
         with pytest.raises(AlgorithmError):
@@ -167,4 +179,32 @@ class TestParallel:
             two_cliques_graph, r=7, workers=3, rng=0, executor="serial"
         )
         assert res.stats.extras["workers"] == 3
+        assert res.stats.extras["requested_workers"] == 3
         assert sum(res.stats.extras["rounds"]) == 7
+
+    def test_worker_clamp_recorded_in_extras(self, two_cliques_graph):
+        res = coarsen_influence_graph_parallel(
+            two_cliques_graph, r=2, workers=8, rng=0, executor="serial"
+        )
+        assert res.stats.extras["workers"] == 2
+        assert res.stats.extras["requested_workers"] == 8
+        assert res.stats.extras["rounds"] == [1, 1]
+
+    def test_clamped_pool_matches_exact_pool(self, two_cliques_graph):
+        """workers=8 with r=2 is the same run as workers=2 with r=2."""
+        clamped = coarsen_influence_graph_parallel(
+            two_cliques_graph, r=2, workers=8, rng=5, executor="serial"
+        )
+        exact = coarsen_influence_graph_parallel(
+            two_cliques_graph, r=2, workers=2, rng=5, executor="serial"
+        )
+        assert clamped.coarse == exact.coarse
+        assert np.array_equal(clamped.pi, exact.pi)
+
+    def test_r_zero_parallel_is_trivial(self, paper_graph):
+        res = coarsen_influence_graph_parallel(
+            paper_graph, r=0, workers=4, rng=0, executor="serial"
+        )
+        assert res.coarse.n == 1
+        assert res.coarse.weights.tolist() == [9]
+        assert res.stats.extras["rounds"] == [0]
