@@ -25,7 +25,7 @@ from repro.bench import (
     run_traced,
     save_json,
 )
-from repro.core import coarsen_influence_graph, coarsen_influence_graph_sublinear
+from repro.core import coarsen_influence_graph
 from repro.datasets import load_dataset
 from repro.storage import TripletStore
 
@@ -48,8 +48,7 @@ def generate() -> dict:
         with tempfile.TemporaryDirectory() as workdir:
             src = TripletStore.from_graph(graph, os.path.join(workdir, "g.trip"))
             t0 = time.perf_counter()
-            coarsen_influence_graph_sublinear(
-                src, os.path.join(workdir, "h.trip"), r=r, rng=0,
+            coarsen_influence_graph(src, space="sublinear", out_path=os.path.join(workdir, "h.trip"), r=r, rng=0,
                 work_dir=workdir,
             )
             sublinear_times.append(time.perf_counter() - t0)

@@ -11,7 +11,7 @@ import os
 import tempfile
 
 from repro.bench import measure, render_series, save_json
-from repro.core import coarsen_influence_graph, coarsen_influence_graph_sublinear
+from repro.core import coarsen_influence_graph
 from repro.datasets import load_dataset
 from repro.storage import TripletStore
 
@@ -32,8 +32,7 @@ def generate() -> dict:
         with tempfile.TemporaryDirectory() as workdir:
             src = TripletStore.from_graph(graph, os.path.join(workdir, "g.trip"))
             run = measure(
-                lambda: coarsen_influence_graph_sublinear(
-                    src, os.path.join(workdir, "h.trip"), r=r, rng=0,
+                lambda: coarsen_influence_graph(src, space="sublinear", out_path=os.path.join(workdir, "h.trip"), r=r, rng=0,
                     work_dir=workdir,
                 )
             )

@@ -16,7 +16,7 @@ import os
 import tempfile
 
 from repro.bench import Budget, format_seconds, render_table, run_budgeted, save_json
-from repro.core import coarsen_influence_graph, coarsen_influence_graph_sublinear
+from repro.core import coarsen_influence_graph
 from repro.datasets import load_dataset
 from repro.storage import TripletStore
 
@@ -37,8 +37,7 @@ def _linear(graph):
 def _sublinear(src, workdir):
     # The input store already sits on disk (the paper's Algorithm 2 setup);
     # only the algorithm itself is measured.
-    return coarsen_influence_graph_sublinear(
-        src, os.path.join(workdir, "h.trip"), r=R, rng=0, work_dir=workdir
+    return coarsen_influence_graph(src, space="sublinear", out_path=os.path.join(workdir, "h.trip"), r=R, rng=0, work_dir=workdir
     )
 
 

@@ -53,7 +53,7 @@ def evaluate(name: str, setting: str) -> dict:
 
     plain_out, plain_seconds = _run(
         lambda: DSSAMaximizer(
-            eps=EPS, delta=DELTA, rng=1, max_sets=MAX_SETS,
+            eps=EPS, delta=DELTA, rng=1, max_samples=MAX_SETS,
             memory_budget_elements=POOL_BUDGET_ELEMENTS,
         ).select(graph, K)
     )
@@ -63,7 +63,7 @@ def evaluate(name: str, setting: str) -> dict:
         lambda: maximize_on_coarse(
             result, K,
             DSSAMaximizer(
-                eps=EPS, delta=DELTA, rng=2, max_sets=MAX_SETS,
+                eps=EPS, delta=DELTA, rng=2, max_samples=MAX_SETS,
                 memory_budget_elements=POOL_BUDGET_ELEMENTS,
             ),
             rng=3,

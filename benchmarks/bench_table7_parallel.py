@@ -37,7 +37,7 @@ import zlib
 
 from repro import obs
 from repro.bench import format_seconds, render_table, save_json
-from repro.core import coarsen_influence_graph_parallel
+from repro.core import coarsen_influence_graph
 
 from bench_ablation_scc import generated_graph
 from conftest import results_path, run_once
@@ -72,7 +72,7 @@ def _run_cell(graph, executor: str, workers: int, reps: int) -> dict:
         registry = obs.MetricsRegistry()
         t0 = time.perf_counter()
         with obs.use_metrics(registry):
-            res = coarsen_influence_graph_parallel(
+            res = coarsen_influence_graph(
                 graph, r=R, workers=workers, rng=0, executor=executor
             )
         seconds = time.perf_counter() - t0

@@ -15,7 +15,7 @@ Run:  python examples/out_of_core_pipeline.py
 import os
 import tempfile
 
-from repro import TripletStore, coarsen_influence_graph_sublinear, load_dataset
+from repro import TripletStore, coarsen_influence_graph, load_dataset
 from repro.bench import measure
 
 graph = load_dataset("com-friendster", setting="exp", seed=0)
@@ -29,8 +29,7 @@ with tempfile.TemporaryDirectory() as workdir:
           f"({os.path.getsize(source.path) / 1e6:.1f} MB)")
 
     run = measure(
-        lambda: coarsen_influence_graph_sublinear(
-            source, os.path.join(workdir, "coarse.trip"), r=16, rng=0,
+        lambda: coarsen_influence_graph(source, space="sublinear", out_path=os.path.join(workdir, "coarse.trip"), r=16, rng=0,
             work_dir=workdir,
         )
     )

@@ -34,7 +34,7 @@ K = 10
 graph = load_dataset("soc-slashdot", setting="exp", seed=0)
 print(f"network: {graph} (synthetic analogue of soc-Slashdot0922)\n")
 
-judge = MonteCarloEstimator(n_simulations=2_000, rng=99)
+judge = MonteCarloEstimator(n_samples=2_000, rng=99)
 
 
 def report(label: str, seeds: np.ndarray, seconds: float) -> float:

@@ -1,0 +1,108 @@
+"""End-to-end smoke test for ``repro serve``.
+
+Launches the CLI server as a real subprocess on an ephemeral port, waits
+for its "serving on http://HOST:PORT" announcement, exercises the HTTP
+surface (``/healthz``, ``/estimate``, ``/stats``), then delivers SIGINT
+and asserts a clean shutdown — the documented Ctrl-C path.  This is the
+one test that covers argv parsing, stdout protocol, and signal handling
+together; CI runs it on every push.
+
+Usage: ``PYTHONPATH=src python scripts/serve_smoke.py``
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+TIMEOUT = 60.0
+
+
+def _write_edge_list(path: str) -> None:
+    """A small deterministic digraph (a ring with chords)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        n = 60
+        for i in range(n):
+            handle.write(f"{i} {(i + 1) % n} 0.4\n")
+            handle.write(f"{i} {(i + 7) % n} 0.2\n")
+
+
+def _wait_for_banner(proc: subprocess.Popen) -> str:
+    """Read stdout until the serve banner appears; return the URL."""
+    deadline = time.monotonic() + TIMEOUT
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited early (code {proc.poll()}) without a banner"
+            )
+        sys.stdout.write(f"[server] {line}")
+        match = re.search(r"serving on (http://\S+)", line)
+        if match:
+            return match.group(1)
+    raise SystemExit("timed out waiting for the serve banner")
+
+
+def _post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=TIMEOUT) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        edges = os.path.join(tmp, "smoke.txt")
+        _write_edge_list(edges)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", edges,
+             "--port", "0", "-r", "4", "--simulations", "2000"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=env,
+        )
+        try:
+            base = _wait_for_banner(proc)
+
+            with urllib.request.urlopen(f"{base}/healthz",
+                                        timeout=TIMEOUT) as response:
+                health = json.loads(response.read().decode("utf-8"))
+            assert health.get("status") == "ok", health
+
+            estimate = _post(f"{base}/estimate",
+                             {"seeds": [0, 3], "n_samples": 2000})
+            assert estimate["value"] > 0, estimate
+            assert estimate["n_samples"] == 2000, estimate
+
+            with urllib.request.urlopen(f"{base}/stats",
+                                        timeout=TIMEOUT) as response:
+                stats = json.loads(response.read().decode("utf-8"))
+            assert stats["models"] == 1, stats
+
+            proc.send_signal(signal.SIGINT)
+            code = proc.wait(timeout=TIMEOUT)
+            assert code == 0, f"server exited with {code} after SIGINT"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=TIMEOUT)
+    print("serve smoke test: OK "
+          f"(estimate={estimate['value']:.3f} on {estimate['n_samples']} "
+          "RR sets)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

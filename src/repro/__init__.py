@@ -63,6 +63,7 @@ from .errors import (
 )
 from .graph import GraphBuilder, InfluenceGraph, read_edge_list, write_edge_list
 from .partition import Partition
+from .serve import InfluenceService, QueryResult, ServiceConfig
 from .storage import PairStore, TripletStore
 
 __version__ = "1.0.0"
@@ -88,6 +89,10 @@ __all__ = [
     # frameworks
     "estimate_on_coarse",
     "maximize_on_coarse",
+    # serving
+    "InfluenceService",
+    "ServiceConfig",
+    "QueryResult",
     # diffusion + algorithms
     "simulate_ic",
     "estimate_influence",

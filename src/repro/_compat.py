@@ -1,0 +1,85 @@
+"""Deprecation machinery for the 1.x -> 2.0 API transition.
+
+The public surface was consolidated in 1.1 (see ``docs/API.md``, "Stability
+and migration"): one coarsening entry point, uniform estimator/maximizer
+constructor spellings (``n_samples`` / ``max_samples`` / ``rng`` / ``model``).
+The old spellings keep working until 2.0 through the helpers here, which
+emit :class:`DeprecationWarning` and delegate to the new code paths — the
+shims add no behaviour of their own, so old and new calls are
+byte-identical.
+
+CI runs the internal suite with ``-W error::DeprecationWarning``; any
+in-repo caller of a deprecated spelling fails the build.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any
+
+__all__ = ["MISSING", "deprecated_alias", "warn_deprecated"]
+
+_REMOVE_IN = "2.0"
+
+
+class _Missing:
+    """Sentinel distinguishing "argument not passed" from any real value."""
+
+    _instance: "_Missing | None" = None
+
+    def __new__(cls) -> "_Missing":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "..."
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Default for keyword parameters that participate in a rename; lets
+#: :func:`deprecated_alias` detect a simultaneous old+new spelling.
+MISSING = _Missing()
+
+
+def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard rename warning (``old`` -> ``new``).
+
+    ``stacklevel`` defaults to 3 so the warning points at the *caller* of
+    the shim (shim -> helper -> warn), not at this module.
+    """
+    warnings.warn(
+        f"{old} is deprecated and will be removed in {_REMOVE_IN}; "
+        f"use {new} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def deprecated_alias(
+    owner: str,
+    new_name: str,
+    new_value: Any,
+    old_name: str,
+    old_value: Any,
+    default: Any,
+) -> Any:
+    """Resolve a renamed keyword argument.
+
+    Exactly one of ``new_value`` / ``old_value`` may be a real value (the
+    other being :data:`MISSING`); passing both raises ``TypeError``, passing
+    the old spelling warns and delegates, passing neither yields
+    ``default``.
+    """
+    if old_value is MISSING:
+        return default if new_value is MISSING else new_value
+    if new_value is not MISSING:
+        raise TypeError(
+            f"{owner}: pass either {new_name}= or the deprecated "
+            f"{old_name}=, not both"
+        )
+    warn_deprecated(f"{owner}({old_name}=...)", f"{owner}({new_name}=...)",
+                    stacklevel=4)
+    return old_value

@@ -22,6 +22,7 @@ import math
 
 import numpy as np
 
+from .._compat import MISSING, deprecated_alias, warn_deprecated
 from ..core.frameworks import MaximizationResult
 from ..diffusion.rr_sets import CoverageInstance, RRSampler
 from ..errors import AlgorithmError
@@ -36,29 +37,41 @@ __all__ = ["IMMMaximizer"]
 class IMMMaximizer:
     """IMM with parameters ``eps`` (accuracy) and ``l`` (confidence exponent).
 
-    ``max_sets`` caps the sketch budget so adversarial parameterisations
-    cannot exhaust memory; hitting the cap raises unless ``allow_cap`` is
-    set, in which case the run degrades to fixed-budget RIS semantics.
+    ``max_samples`` (the 1.0 spelling ``max_sets=`` is deprecated) caps the
+    sketch budget so adversarial parameterisations cannot exhaust memory;
+    hitting the cap raises unless ``allow_cap`` is set, in which case the
+    run degrades to fixed-budget RIS semantics.
     """
 
     def __init__(
         self,
         eps: float = 0.1,
+        *,
         l: float = 1.0,
         rng=None,
-        max_sets: int = 2_000_000,
+        max_samples=MISSING,
         allow_cap: bool = True,
         model: str = "ic",
+        max_sets=MISSING,
     ) -> None:
         if not 0.0 < eps < 1.0:
             raise AlgorithmError("eps must lie in (0, 1)")
         self.eps = eps
         self.l = l
         self._rng = ensure_rng(rng)
-        self.max_sets = max_sets
+        self.max_samples = deprecated_alias(
+            "IMMMaximizer", "max_samples", max_samples, "max_sets", max_sets,
+            default=2_000_000,
+        )
         self.allow_cap = allow_cap
         self.model = model
         self.examined_edges = 0
+
+    @property
+    def max_sets(self) -> int:
+        """Deprecated 1.0 alias of :attr:`max_samples` (removed in 2.0)."""
+        warn_deprecated("IMMMaximizer.max_sets", "IMMMaximizer.max_samples")
+        return self.max_samples
 
     def select(self, graph: InfluenceGraph, k: int) -> MaximizationResult:
         """Select a size-``k`` seed set; returns a :class:`MaximizationResult`."""
@@ -76,10 +89,10 @@ class IMMMaximizer:
         rr_sets: list[np.ndarray] = []
 
         def ensure_sets(count: int) -> bool:
-            count = min(count, self.max_sets)
+            count = min(count, self.max_samples)
             while len(rr_sets) < count:
                 rr_sets.append(sampler.sample())
-            return count >= self.max_sets
+            return count >= self.max_samples
 
         # ---- Phase 1: lower-bound OPT by iterative halving ----
         eps_prime = math.sqrt(2.0) * eps
@@ -119,7 +132,7 @@ class IMMMaximizer:
             capped = ensure_sets(theta) or capped
         if capped and not self.allow_cap:
             raise AlgorithmError(
-                f"IMM sketch budget exceeded max_sets={self.max_sets}"
+                f"IMM sketch budget exceeded max_samples={self.max_samples}"
             )
         used = min(theta, len(rr_sets))
         with span("imm_selection", k=k, rr_sets=used):

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._compat import MISSING, deprecated_alias, warn_deprecated
 from ..diffusion.simulator import SimulationStats, estimate_influence
 from ..errors import AlgorithmError
 from ..graph.influence_graph import InfluenceGraph
@@ -23,22 +24,35 @@ class MonteCarloEstimator:
 
     Parameters
     ----------
-    n_simulations:
-        Simulations per estimate.  The paper uses 100,000 for ground truth;
-        tens of thousands suffice in practice [10, 22].
+    n_samples:
+        Simulations per estimate (default 10,000).  The paper uses 100,000
+        for ground truth; tens of thousands suffice in practice [10, 22].
+        The 1.0 spelling ``n_simulations=`` is deprecated.
     rng:
         Seed or generator (shared across estimates on this instance).
     """
 
-    def __init__(self, n_simulations: int = 10_000, rng=None) -> None:
-        if n_simulations <= 0:
-            raise AlgorithmError("n_simulations must be positive")
-        self.n_simulations = n_simulations
+    def __init__(self, n_samples=MISSING, *, rng=None,
+                 n_simulations=MISSING) -> None:
+        n_samples = deprecated_alias(
+            "MonteCarloEstimator", "n_samples", n_samples,
+            "n_simulations", n_simulations, default=10_000,
+        )
+        if n_samples <= 0:
+            raise AlgorithmError("n_samples must be positive")
+        self.n_samples = n_samples
         self._rng = ensure_rng(rng)
         self.stats = SimulationStats()
 
+    @property
+    def n_simulations(self) -> int:
+        """Deprecated 1.0 alias of :attr:`n_samples` (removed in 2.0)."""
+        warn_deprecated("MonteCarloEstimator.n_simulations",
+                        "MonteCarloEstimator.n_samples")
+        return self.n_samples
+
     def estimate(self, graph: InfluenceGraph, seeds: np.ndarray) -> float:
-        """The mean activated weight over ``n_simulations`` runs."""
+        """The mean activated weight over ``n_samples`` runs."""
         return estimate_influence(
-            graph, seeds, self.n_simulations, rng=self._rng, stats=self.stats
+            graph, seeds, self.n_samples, rng=self._rng, stats=self.stats
         )

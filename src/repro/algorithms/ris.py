@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 
+from .._compat import MISSING, deprecated_alias, warn_deprecated
 from ..core.frameworks import MaximizationResult
 from ..diffusion.rr_sets import CoverageInstance, RRSampler
 from ..errors import AlgorithmError
@@ -35,37 +36,49 @@ class RISMaximizer:
 
     Parameters
     ----------
-    n_sets:
-        Sketch budget.  No adaptive guarantee; accuracy grows with the
-        budget as in the Borgs et al. analysis.
+    n_samples:
+        Sketch budget (number of RR sets, default 10,000).  No adaptive
+        guarantee; accuracy grows with the budget as in the Borgs et al.
+        analysis.  The 1.0 spelling ``n_sets=`` is deprecated.
     rng:
         Seed or generator for sketch sampling.
     """
 
-    def __init__(self, n_sets: int = 10_000, rng=None, model: str = "ic") -> None:
-        if n_sets <= 0:
-            raise AlgorithmError("n_sets must be positive")
-        self.n_sets = n_sets
+    def __init__(self, n_samples=MISSING, *, rng=None, model: str = "ic",
+                 n_sets=MISSING) -> None:
+        n_samples = deprecated_alias(
+            "RISMaximizer", "n_samples", n_samples, "n_sets", n_sets,
+            default=10_000,
+        )
+        if n_samples <= 0:
+            raise AlgorithmError("n_samples must be positive")
+        self.n_samples = n_samples
         self._rng = ensure_rng(rng)
         self.model = model
         self.examined_edges = 0
+
+    @property
+    def n_sets(self) -> int:
+        """Deprecated 1.0 alias of :attr:`n_samples` (removed in 2.0)."""
+        warn_deprecated("RISMaximizer.n_sets", "RISMaximizer.n_samples")
+        return self.n_samples
 
     def select(self, graph: InfluenceGraph, k: int) -> MaximizationResult:
         """Select a size-``k`` seed set; returns a :class:`MaximizationResult`."""
         if not 0 < k <= graph.n:
             raise AlgorithmError("k must lie in [1, n]")
         sampler = RRSampler(graph, rng=self._rng, model=self.model)
-        with span("ris_sampling", n_sets=self.n_sets, n=graph.n):
-            rr_sets = sampler.sample_batch(self.n_sets)
-        with span("ris_selection", k=k, n_sets=self.n_sets):
+        with span("ris_sampling", n_sets=self.n_samples, n=graph.n):
+            rr_sets = sampler.sample_batch(self.n_samples)
+        with span("ris_selection", k=k, n_sets=self.n_samples):
             coverage = CoverageInstance(rr_sets, graph.n)
             seeds, covered = coverage.greedy(k)
         self.examined_edges += sampler.examined_edges
-        inc("ris.rr_sets", self.n_sets)
+        inc("ris.rr_sets", self.n_samples)
         inc("ris.examined_edges", sampler.examined_edges)
-        estimate = sampler.total_weight * covered / self.n_sets
+        estimate = sampler.total_weight * covered / self.n_samples
         return MaximizationResult(
             seeds=seeds,
             estimated_influence=estimate,
-            extras={"rr_sets": self.n_sets, "covered": covered},
+            extras={"rr_sets": self.n_samples, "covered": covered},
         )

@@ -33,6 +33,7 @@ import math
 
 import numpy as np
 
+from .._compat import MISSING, deprecated_alias, warn_deprecated
 from ..core.frameworks import MaximizationResult
 from ..diffusion.rr_sets import CoverageInstance, RRSampler
 from ..errors import AlgorithmError, BudgetExceededError
@@ -49,12 +50,14 @@ class _StopAndStareBase:
     def __init__(
         self,
         eps: float = 0.1,
+        *,
         delta: float = 0.01,
         rng=None,
-        max_sets: int = 1_000_000,
+        max_samples=MISSING,
         memory_budget_sets: int | None = None,
         memory_budget_elements: int | None = None,
         model: str = "ic",
+        max_sets=MISSING,
     ) -> None:
         if not 0.0 < eps < 1.0 - 2.0 / math.e:
             raise AlgorithmError("eps must lie in (0, 1 - 2/e)")
@@ -63,12 +66,22 @@ class _StopAndStareBase:
         self.eps = eps
         self.delta = delta
         self._rng = ensure_rng(rng)
-        self.max_sets = max_sets
+        self.max_samples = deprecated_alias(
+            type(self).__name__, "max_samples", max_samples,
+            "max_sets", max_sets, default=1_000_000,
+        )
         self.memory_budget_sets = memory_budget_sets
         self.memory_budget_elements = memory_budget_elements
         self.model = model
         self.examined_edges = 0
         self._elements_stored = 0
+
+    @property
+    def max_sets(self) -> int:
+        """Deprecated 1.0 alias of :attr:`max_samples` (removed in 2.0)."""
+        name = type(self).__name__
+        warn_deprecated(f"{name}.max_sets", f"{name}.max_samples")
+        return self.max_samples
 
     def _n_max(self, n: int, w_total: float, k: int) -> int:
         """Worst-case RR-set budget (the algorithms stop far earlier)."""
@@ -81,7 +94,7 @@ class _StopAndStareBase:
             * w_total
             / (self.eps ** 2 * k)
         )
-        return min(int(math.ceil(bound)), self.max_sets)
+        return min(int(math.ceil(bound)), self.max_samples)
 
     def _initial_budget(self) -> int:
         """``Lambda``: the smallest statistically meaningful collection."""

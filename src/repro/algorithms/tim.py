@@ -23,6 +23,7 @@ import math
 
 import numpy as np
 
+from .._compat import MISSING, deprecated_alias, warn_deprecated
 from ..core.frameworks import MaximizationResult
 from ..diffusion.rr_sets import CoverageInstance, RRSampler
 from ..errors import AlgorithmError
@@ -36,26 +37,39 @@ __all__ = ["TIMPlusMaximizer"]
 class TIMPlusMaximizer:
     """TIM+ with accuracy ``eps`` and confidence exponent ``l``.
 
-    ``max_sets`` bounds the sketch (degrading to fixed-budget behaviour
-    when hit, reported in ``extras``).
+    ``max_samples`` (the 1.0 spelling ``max_sets=`` is deprecated) bounds
+    the sketch (degrading to fixed-budget behaviour when hit, reported in
+    ``extras``).
     """
 
     def __init__(
         self,
         eps: float = 0.1,
+        *,
         l: float = 1.0,
         rng=None,
-        max_sets: int = 2_000_000,
+        max_samples=MISSING,
         model: str = "ic",
+        max_sets=MISSING,
     ) -> None:
         if not 0.0 < eps < 1.0:
             raise AlgorithmError("eps must lie in (0, 1)")
         self.eps = eps
         self.l = l
         self._rng = ensure_rng(rng)
-        self.max_sets = max_sets
+        self.max_samples = deprecated_alias(
+            "TIMPlusMaximizer", "max_samples", max_samples,
+            "max_sets", max_sets, default=2_000_000,
+        )
         self.model = model
         self.examined_edges = 0
+
+    @property
+    def max_sets(self) -> int:
+        """Deprecated 1.0 alias of :attr:`max_samples` (removed in 2.0)."""
+        warn_deprecated("TIMPlusMaximizer.max_sets",
+                        "TIMPlusMaximizer.max_samples")
+        return self.max_samples
 
     def _kpt_estimation(self, graph: InfluenceGraph, k: int,
                         sampler: RRSampler, rr_sets: list) -> float:
@@ -76,7 +90,7 @@ class TIMPlusMaximizer:
                            + 6.0 * math.log(math.log2(max(n, 2)) + 1.0))
                           * (2.0 ** i))
             )
-            c_i = min(c_i, self.max_sets)
+            c_i = min(c_i, self.max_samples)
             while len(rr_sets) < c_i:
                 rr_sets.append(sampler.sample())
             total = 0.0
@@ -108,7 +122,7 @@ class TIMPlusMaximizer:
             (2.0 + eps_prime) * l * w_total * math.log(max(n, 2))
             / (eps_prime ** 2 * kpt)
         ))
-        theta_prime = min(max(theta_prime, 1), self.max_sets)
+        theta_prime = min(max(theta_prime, 1), self.max_samples)
         while len(rr_sets) < theta_prime:
             rr_sets.append(sampler.sample())
         coverage = CoverageInstance(rr_sets[:theta_prime], n)
@@ -125,8 +139,8 @@ class TIMPlusMaximizer:
             / (eps ** 2)
         )
         theta = int(math.ceil(lambda_ / kpt))
-        capped = theta > self.max_sets
-        theta = min(max(theta, 1), self.max_sets)
+        capped = theta > self.max_samples
+        theta = min(max(theta, 1), self.max_samples)
         while len(rr_sets) < theta:
             rr_sets.append(sampler.sample())
         coverage = CoverageInstance(rr_sets[:theta], n)

@@ -35,7 +35,6 @@ from .algorithms import (
 from .analysis.bounds import guarantee_report
 from .core import (
     coarsen_influence_graph,
-    coarsen_influence_graph_parallel,
     estimate_on_coarse,
     maximize_on_coarse,
 )
@@ -46,15 +45,28 @@ from .scc import DEFAULT_SCC_BACKEND, SCC_BACKENDS
 
 __all__ = ["main"]
 
+def _make_imm(args: argparse.Namespace) -> IMMMaximizer:
+    """Build IMM honoring ``--eps`` exactly as given.
+
+    The sketch budget grows roughly as ``1/eps^2``, so a small eps can be
+    very slow — but silently overriding a user's flag is worse, so small
+    values get a visible note instead of a clamp.
+    """
+    if args.eps < 0.1:
+        print(f"note: --eps {args.eps} is small; IMM's RR-set budget grows "
+              f"~1/eps^2, so this run may be slow (the max_samples cap "
+              f"still bounds it)", file=sys.stderr)
+    return IMMMaximizer(eps=args.eps, rng=args.seed, model=args.model)
+
+
 _MAXIMIZERS = {
     "dssa": lambda args: DSSAMaximizer(eps=args.eps, delta=args.delta,
                                        rng=args.seed, model=args.model),
     "ssa": lambda args: SSAMaximizer(eps=args.eps, delta=args.delta,
                                      rng=args.seed, model=args.model),
-    "imm": lambda args: IMMMaximizer(eps=max(args.eps, 0.1), rng=args.seed,
-                                     model=args.model),
-    "ris": lambda args: RISMaximizer(n_sets=args.simulations, rng=args.seed,
-                                     model=args.model),
+    "imm": _make_imm,
+    "ris": lambda args: RISMaximizer(n_samples=args.simulations,
+                                     rng=args.seed, model=args.model),
     "celf": lambda args: CELFMaximizer(
         MonteCarloEstimator(args.simulations, rng=args.seed)
     ),
@@ -144,22 +156,20 @@ def _cmd_info(args: argparse.Namespace) -> int:
 def _cmd_coarsen(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.default_prob, args.undirected,
                         args.reverse)
-    if args.executor is not None or args.workers is not None:
-        result = coarsen_influence_graph_parallel(
-            graph, r=args.r, rng=args.seed,
-            workers=args.workers if args.workers is not None else 4,
-            executor=args.executor or "thread",
-            scc_backend=args.scc_backend,
-        )
+    parallel = args.executor is not None or args.workers is not None
+    result = coarsen_influence_graph(
+        graph, r=args.r, rng=args.seed,
+        executor=args.executor or ("thread" if parallel else "serial"),
+        workers=args.workers,
+        scc_backend=args.scc_backend,
+    )
+    if parallel:
         extras = result.stats.extras
         clamp = (f" (clamped from {extras['requested_workers']})"
                  if extras["workers"] != extras["requested_workers"] else "")
         print(f"parallel: executor={extras['executor']} "
               f"workers={extras['workers']}{clamp} "
               f"meet tree depth {extras['meet_tree_depth']}")
-    else:
-        result = coarsen_influence_graph(graph, r=args.r, rng=args.seed,
-                                         scc_backend=args.scc_backend)
     stats = result.stats
     print(f"coarsened in {stats.total_seconds:.2f} s (r={args.r})")
     if stats.stage_seconds:
@@ -225,6 +235,32 @@ def _cmd_maximize(args: argparse.Namespace) -> int:
     print(f"estimated influence: {answer.estimated_influence:.2f} "
           f"({args.algorithm}, {seconds:.2f} s"
           f"{', via coarse graph' if args.coarsen else ''})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import InfluenceService, ServiceConfig
+    from .serve.http import make_server, serve_forever
+
+    graph = _load_graph(args.graph, args.default_prob, args.undirected,
+                        args.reverse)
+    config = ServiceConfig(
+        r=args.r, seed=args.seed, scc_backend=args.scc_backend,
+        n_samples=args.simulations, max_models=args.max_models,
+        warm_dir=args.warm_dir, max_workers=args.workers,
+        max_pending=args.max_pending, deadline_seconds=args.deadline,
+    )
+    service = InfluenceService(config)
+    print("coarsening model (one-time cost)...", file=sys.stderr)
+    service.model_for(graph)
+    if args.warm_dir:
+        service.persist(graph)
+    server = make_server(service, graph, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    # flush=True so wrappers that parse the port (scripts/serve_smoke.py)
+    # see it before the first request.
+    print(f"serving on http://{host}:{port} (Ctrl-C to stop)", flush=True)
+    serve_forever(server, service)
     return 0
 
 
@@ -306,6 +342,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_max.add_argument("--seed", type=int, default=0)
     _add_coarsen_arguments(p_max)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the JSON query endpoint over a cached model "
+             "(see docs/serving.md)",
+    )
+    _add_graph_arguments(p_serve)
+    _add_obs_arguments(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321,
+                         help="TCP port (0 binds an ephemeral port, "
+                              "printed on startup)")
+    p_serve.add_argument("-r", type=int, default=16)
+    p_serve.add_argument("--seed", type=int, default=0)
+    _add_coarsen_arguments(p_serve)
+    p_serve.add_argument("--simulations", type=int, default=10_000,
+                         help="default RR sets per query")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="query worker threads")
+    p_serve.add_argument("--max-pending", type=int, default=64,
+                         help="queued queries beyond the workers before "
+                              "submits are rejected with 429")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         help="per-query deadline in seconds (queries "
+                              "degrade to fewer samples instead of missing it)")
+    p_serve.add_argument("--max-models", type=int, default=8,
+                         help="resident coarsened models (LRU beyond)")
+    p_serve.add_argument("--warm-dir", default=None,
+                         help="directory of persisted models for warm starts")
+
     from .lint.cli import build_parser as lint_build_parser
 
     p_lint = sub.add_parser(
@@ -326,6 +391,7 @@ _COMMANDS = {
     "coarsen": _cmd_coarsen,
     "estimate": _cmd_estimate,
     "maximize": _cmd_maximize,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -1,12 +1,21 @@
 """The paper's primary contribution: influence-graph coarsening.
 
-* :func:`coarsen_influence_graph` — Algorithm 1 (linear space, in memory);
-* :func:`coarsen_influence_graph_sublinear` — Algorithm 2 (disk streaming);
-* :func:`coarsen_influence_graph_parallel` — Algorithm 6;
+* :func:`coarsen_influence_graph` — the unified entry point: Algorithm 1
+  (``space="linear"``, the default), Algorithm 2 (``space="sublinear"``)
+  and Algorithm 6 (``executor=`` / ``workers=``);
 * :class:`DynamicCoarsener` — Algorithm 7;
 * :func:`estimate_on_coarse` / :func:`maximize_on_coarse` — Algorithms 3/4.
+
+``coarsen_influence_graph_parallel`` / ``coarsen_influence_graph_sublinear``
+are deprecated 1.0 spellings (removed in 2.0) that delegate to the same
+implementations.
 """
 
+from .api import (
+    coarsen_influence_graph,
+    coarsen_influence_graph_parallel,
+    coarsen_influence_graph_sublinear,
+)
 from .coarsen import check_partition_strongly_connected, coarsen
 from .dynamic import DynamicCoarsener, DynamicStats
 from .frameworks import (
@@ -16,19 +25,19 @@ from .frameworks import (
     estimate_on_coarse,
     maximize_on_coarse,
 )
-from .linear_space import coarsen_influence_graph
-from .persistence import load_coarsening, save_coarsening
-from .parallel import GraphHandle, coarsen_influence_graph_parallel, split_rounds
+from .persistence import load_coarsening, peek_coarsening_meta, save_coarsening
+from .parallel import GraphHandle, split_rounds
 from .result import CoarsenResult, CoarsenStats
 from .robust_scc import robust_scc_partition, robust_scc_refinement_sequence
 from .tuning import RSweepPoint, r_sweep
-from .sublinear_space import SublinearResult, coarsen_influence_graph_sublinear
+from .sublinear_space import SublinearResult
 
 __all__ = [
     "r_sweep",
     "RSweepPoint",
     "save_coarsening",
     "load_coarsening",
+    "peek_coarsening_meta",
     "coarsen",
     "check_partition_strongly_connected",
     "robust_scc_partition",

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 
 import numpy as np
 
@@ -36,7 +37,7 @@ from ..graph.influence_graph import InfluenceGraph
 from ..partition.partition import Partition
 from .result import CoarsenResult, CoarsenStats
 
-__all__ = ["save_coarsening", "load_coarsening"]
+__all__ = ["save_coarsening", "load_coarsening", "peek_coarsening_meta"]
 
 _FORMAT_VERSION = 2
 
@@ -97,6 +98,45 @@ def save_coarsening(result: CoarsenResult, path: "str | os.PathLike[str]") -> No
     )
 
 
+def _open_archive(resolved: str):
+    """``np.load`` with missing/corrupt files mapped to GraphFormatError."""
+    try:
+        return np.load(resolved)
+    except FileNotFoundError as exc:
+        raise GraphFormatError(
+            f"{resolved}: no such coarsening archive"
+        ) from exc
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        # Truncated downloads, foreign formats, and plain garbage all land
+        # here; callers get one exception type for "this is not usable".
+        raise GraphFormatError(
+            f"{resolved}: not a repro coarsening archive ({exc})"
+        ) from exc
+
+
+def peek_coarsening_meta(path: "str | os.PathLike[str]") -> dict:
+    """Read only the JSON meta blob of an archive (no CSR arrays).
+
+    The warm-start hook for the ``repro.serve`` model cache: deciding
+    whether an archive matches a query key needs the provenance recorded in
+    ``extras`` (``r``, the graph digest, the backend) but not the graph
+    itself, and the meta blob is a few hundred bytes against potentially
+    gigabytes of arrays.  Raises :class:`GraphFormatError` for missing or
+    foreign files, like :func:`load_coarsening`.
+    """
+    resolved = _resolve_archive_path(path)
+    with _open_archive(resolved) as archive:
+        try:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        except (KeyError, ValueError) as exc:
+            raise GraphFormatError(
+                f"{resolved}: not a repro coarsening archive"
+            ) from exc
+    if not isinstance(meta, dict):
+        raise GraphFormatError(f"{resolved}: malformed archive meta")
+    return meta
+
+
 def load_coarsening(path: "str | os.PathLike[str]") -> CoarsenResult:
     """Load a :class:`CoarsenResult` previously written by
     :func:`save_coarsening`.
@@ -106,13 +146,7 @@ def load_coarsening(path: "str | os.PathLike[str]") -> CoarsenResult:
     reports the *resolved* name when the archive is missing or malformed.
     """
     resolved = _resolve_archive_path(path)
-    try:
-        archive_ctx = np.load(resolved)
-    except FileNotFoundError as exc:
-        raise GraphFormatError(
-            f"{resolved}: no such coarsening archive"
-        ) from exc
-    with archive_ctx as archive:
+    with _open_archive(resolved) as archive:
         try:
             meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
         except (KeyError, ValueError) as exc:

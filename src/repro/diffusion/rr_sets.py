@@ -182,14 +182,23 @@ class CoverageInstance:
         lo, hi = self._inv_indptr[v], self._inv_indptr[v + 1]
         return self._inv_sets[lo:hi]
 
-    def coverage_of(self, seeds: np.ndarray) -> int:
-        """Number of RR sets hit by ``seeds``."""
+    def coverage_of(self, seeds: np.ndarray, first: "int | None" = None) -> int:
+        """Number of RR sets hit by ``seeds``.
+
+        ``first`` restricts the count to the prefix collection
+        ``rr_sets[:first]`` — the pool-reuse path, where one grown-once
+        collection serves queries that asked for different sketch sizes:
+        because sets are appended in draw order, the prefix of length t is
+        distributed exactly as an independent collection of t sets.
+        """
         seeds = np.asarray(seeds, dtype=np.int64)
-        if seeds.size == 0 or self.n_sets == 0:
+        limit = self.n_sets if first is None else min(first, self.n_sets)
+        if seeds.size == 0 or limit <= 0:
             return 0
-        covered = np.zeros(self.n_sets, dtype=bool)
+        covered = np.zeros(limit, dtype=bool)
         for v in seeds:
-            covered[self.sets_containing(int(v))] = True
+            ids = self.sets_containing(int(v))
+            covered[ids[ids < limit]] = True
         return int(covered.sum())
 
     def greedy(self, k: int) -> tuple[np.ndarray, int]:

@@ -49,7 +49,8 @@ class InfluenceGraph:
     construct a graph from unsorted edge arrays.
     """
 
-    __slots__ = ("indptr", "heads", "probs", "_weights", "_tails", "_reverse")
+    __slots__ = ("indptr", "heads", "probs", "_weights", "_tails", "_reverse",
+                 "_digest")
 
     def __init__(
         self,
@@ -67,6 +68,7 @@ class InfluenceGraph:
         )
         self._tails: np.ndarray | None = None
         self._reverse: "InfluenceGraph | None" = None
+        self._digest: str | None = None
         if validate:
             self._validate()
 
@@ -213,6 +215,28 @@ class InfluenceGraph:
         tails = self.tails()
         for i in range(self.m):
             yield int(tails[i]), int(self.heads[i]), float(self.probs[i])
+
+    def digest(self) -> str:
+        """A content hash of the graph (structure, probabilities, weights).
+
+        Two graphs with equal CSR arrays and weights share the digest, so it
+        serves as a cache key for derived artifacts (the ``repro.serve``
+        model cache keys coarsenings by it).  Cached after the first call;
+        graphs are immutable, so the hash can never go stale.
+        """
+        if self._digest is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(self.n.to_bytes(8, "little"))
+            h.update(self.indptr.tobytes())
+            h.update(self.heads.tobytes())
+            h.update(self.probs.tobytes())
+            h.update(b"w" if self._weights is not None else b"u")
+            if self._weights is not None:
+                h.update(self._weights.tobytes())
+            self._digest = h.hexdigest()
+        return self._digest
 
     # ------------------------------------------------------------------
     # Derived graphs

@@ -1,0 +1,41 @@
+"""repro.serve — a cached, batched influence-query engine.
+
+The paper's frameworks (Algorithms 3/4) are built around one expensive
+preprocessing artifact — the coarsened graph ``H`` and its sketches — that
+is amortised over many queries.  This package supplies the amortisation
+layer the ROADMAP's "heavy traffic" north star needs, with no dependencies
+beyond the library itself:
+
+* :class:`ModelCache` (:mod:`.cache`) — a content-addressed LRU of
+  coarsened models keyed by ``(graph digest, r, seed, scc_backend,
+  executor)``, with a byte budget and optional warm-start from
+  ``core.persistence`` archives;
+* :class:`SamplePool` (:mod:`.pool`) — one shared, grow-only RR-set pool
+  per model that concurrent queries are coalesced onto (one pool, many
+  seed sets), with deadline-bounded growth for graceful degradation;
+* :class:`InfluenceService` (:mod:`.service`) — the facade: ``estimate``,
+  ``estimate_many``, ``maximize`` behind a thread-pool dispatcher with
+  bounded-queue admission control (:class:`~repro.errors
+  .BudgetExceededError` on overflow);
+* :mod:`.http` — a small stdlib JSON endpoint (``repro serve``) for shell
+  and load-test use.
+
+Every stage emits ``repro.obs`` spans and counters (``serve.cache.*``,
+``serve.pool.reuse``, ``serve.queue.depth``, ``serve.deadline.degraded``);
+see ``docs/serving.md`` for the cache-key/coalescing/backpressure
+semantics and ``benchmarks/bench_serve.py`` for the throughput evidence.
+"""
+
+from .cache import ModelCache, ModelKey
+from .pool import PoolMaximizer, SamplePool
+from .service import InfluenceService, QueryResult, ServiceConfig
+
+__all__ = [
+    "InfluenceService",
+    "ServiceConfig",
+    "QueryResult",
+    "ModelCache",
+    "ModelKey",
+    "SamplePool",
+    "PoolMaximizer",
+]

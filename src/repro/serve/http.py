@@ -1,0 +1,167 @@
+"""A stdlib JSON endpoint over :class:`~.service.InfluenceService`.
+
+This is deliberately tiny — ``http.server.ThreadingHTTPServer`` plus
+:mod:`json` — so ``repro serve`` works anywhere the library does, with no
+framework dependency.  It exists for shell experimentation and load
+testing, not production fronting; embed :class:`InfluenceService` directly
+for anything serious.
+
+Routes (all bodies JSON):
+
+* ``POST /estimate``        — ``{"seeds": [0, 3], "n_samples": 5000?}``
+* ``POST /estimate_many``   — ``{"seed_sets": [[0], [1, 2]], "n_samples": ...?}``
+* ``POST /maximize``        — ``{"k": 10, "n_samples": ...?}``
+* ``GET  /healthz``         — liveness
+* ``GET  /stats``           — :meth:`InfluenceService.stats`
+
+Error mapping: admission-control overflow
+(:class:`~repro.errors.BudgetExceededError`) is ``429``; any other
+:class:`~repro.errors.ReproError` (bad seeds, bad k) is ``400``; malformed
+JSON is ``400``.  Degraded queries still return ``200`` with
+``"degraded": true`` and the achieved-accuracy report inline.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import BudgetExceededError, ReproError
+from ..graph.influence_graph import InfluenceGraph
+from ..obs import inc
+from .service import InfluenceService, QueryResult
+
+__all__ = ["ServeHandler", "make_server", "serve_forever"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _query_json(result: QueryResult) -> dict:
+    body = {
+        "value": result.value,
+        "n_samples": result.n_samples,
+        "requested_samples": result.requested_samples,
+        "degraded": result.degraded,
+        "seconds": result.seconds,
+    }
+    if result.report is not None:
+        body["report"] = {
+            "reliability_product": result.report.reliability_product,
+            "estimation_eps": result.report.estimation_eps,
+            "estimation_upper_rel_error":
+                result.report.estimation_upper_rel_error,
+            "maximization_effective_alpha":
+                result.report.maximization_effective_alpha,
+        }
+    return body
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Request handler bound to one service + graph via :func:`make_server`."""
+
+    # Set by make_server on the handler subclass.
+    service: InfluenceService
+    graph: InfluenceGraph
+
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr chatter; obs counters cover it."""
+
+    # -- plumbing ------------------------------------------------------
+
+    def _reply(self, status: int, body: dict) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+        inc("serve.http.responses")
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if not 0 < length <= _MAX_BODY_BYTES:
+            raise ReproError("request body must be non-empty JSON")
+        try:
+            body = json.loads(self.rfile.read(length))
+        except ValueError as exc:
+            raise ReproError(f"malformed JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ReproError("request body must be a JSON object")
+        return body
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server's casing
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok"})
+        elif self.path == "/stats":
+            self._reply(200, self.service.stats())
+        else:
+            self._reply(404, {"error": f"no route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server's casing
+        try:
+            body = self._read_body()
+            if self.path == "/estimate":
+                result = self.service.estimate(
+                    self.graph, body["seeds"],
+                    n_samples=body.get("n_samples"),
+                )
+                self._reply(200, _query_json(result))
+            elif self.path == "/estimate_many":
+                results = self.service.estimate_many(
+                    self.graph, body["seed_sets"],
+                    n_samples=body.get("n_samples"),
+                )
+                self._reply(200, {"results": [_query_json(r) for r in results]})
+            elif self.path == "/maximize":
+                result = self.service.maximize(
+                    self.graph, int(body["k"]),
+                    n_samples=body.get("n_samples"),
+                )
+                self._reply(200, {
+                    "seeds": [int(v) for v in result.seeds],
+                    "estimated_influence": result.estimated_influence,
+                    "extras": {
+                        key: value
+                        for key, value in (result.extras or {}).items()
+                        if isinstance(value, (int, float, str, bool))
+                    },
+                })
+            else:
+                self._reply(404, {"error": f"no route {self.path}"})
+        except KeyError as exc:
+            self._reply(400, {"error": f"missing field {exc}"})
+        except BudgetExceededError as exc:
+            inc("serve.http.rejected")
+            self._reply(429, {"error": str(exc)})
+        except ReproError as exc:
+            self._reply(400, {"error": str(exc)})
+
+
+def make_server(service: InfluenceService, graph: InfluenceGraph,
+                host: str = "127.0.0.1",
+                port: int = 0) -> ThreadingHTTPServer:
+    """Build (but don't start) the HTTP server.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address[1]`` — the CLI prints it so scripts (and the CI
+    smoke test) can connect without racing.
+    """
+    handler = type("BoundServeHandler", (ServeHandler,),
+                   {"service": service, "graph": graph})
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve_forever(server: ThreadingHTTPServer,
+                  service: InfluenceService) -> None:
+    """Run until interrupted, then shut both layers down cleanly."""
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass  # reprolint: disable=RL006 - Ctrl-C is the documented shutdown path
+    finally:
+        server.server_close()
+        service.close()

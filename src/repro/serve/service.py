@@ -1,0 +1,446 @@
+""":class:`InfluenceService` — the embeddable query-engine facade.
+
+The service owns the whole serving stack: a :class:`~.cache.ModelCache` of
+coarsened models, one :class:`~.pool.SamplePool` per resident model, and a
+thread-pool dispatcher with bounded-queue admission control.  A query
+goes:
+
+1. **model** — :meth:`InfluenceService.model_for` addresses the cache by
+   content (:class:`~.cache.ModelKey`); a miss probes the warm directory
+   and finally coarsens through the unified
+   :func:`repro.core.coarsen_influence_graph` facade;
+2. **admission** — each query takes a slot from a bounded pool
+   (``max_workers`` running + ``max_pending`` queued); an overflowing
+   submit raises :class:`~repro.errors.BudgetExceededError` *immediately*
+   instead of queueing unboundedly (``serve.queue.depth`` tracks the
+   in-flight count);
+3. **coalescing** — concurrent estimates against the same model score
+   prefixes of the model's shared :class:`~.pool.SamplePool`, so a batch
+   of q queries pays for one sketch, not q;
+4. **deadline** — with ``deadline_seconds`` set, pool growth stops at the
+   deadline and the query degrades to the achieved prefix
+   (``serve.deadline.degraded``); the weaker accuracy is reported through
+   :func:`repro.analysis.bounds.guarantee_report`.
+
+Determinism: for a fixed :class:`ServiceConfig` seed, answers depend only
+on (graph content, query) — batched and sequential execution return
+bit-for-bit identical values (see ``benchmarks/bench_serve.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.bounds import GuaranteeReport, guarantee_report
+from ..core.api import coarsen_influence_graph
+from ..core.frameworks import (
+    MaximizationResult,
+    estimate_on_coarse,
+    maximize_on_coarse,
+)
+from ..core.result import CoarsenResult
+from ..scc import DEFAULT_SCC_BACKEND
+from ..errors import AlgorithmError, BudgetExceededError
+from ..graph.influence_graph import InfluenceGraph
+from ..obs import inc, set_gauge, span
+from ..rng import ensure_rng
+from .cache import ModelCache, ModelKey
+from .pool import DEFAULT_CHUNK_SETS, SamplePool
+
+__all__ = ["ServiceConfig", "QueryResult", "InfluenceService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for one :class:`InfluenceService` instance.
+
+    Model parameters (``r``, ``seed``, ``scc_backend``, ``executor``)
+    enter the cache key — two services with the same config share warm
+    archives.  The serving parameters (worker/queue/deadline) do not
+    affect query *values*, only latency and degradation behaviour.
+    """
+
+    # -- model (these are part of the cache key) -----------------------
+    r: int = 16
+    seed: int = 0
+    scc_backend: str = DEFAULT_SCC_BACKEND
+    executor: str = "serial"
+    workers: "int | None" = None
+    # -- sketches ------------------------------------------------------
+    model: str = "ic"
+    n_samples: int = 10_000
+    chunk_samples: int = DEFAULT_CHUNK_SETS
+    min_samples: int = 128
+    # -- cache ---------------------------------------------------------
+    max_models: int = 8
+    max_bytes: "int | None" = None
+    warm_dir: "str | None" = None
+    # -- dispatch / backpressure ---------------------------------------
+    max_workers: int = 4
+    max_pending: int = 64
+    deadline_seconds: "float | None" = None
+    # -- degradation reporting -----------------------------------------
+    report_samples: int = 500
+
+    def __post_init__(self) -> None:
+        if self.r <= 0:
+            raise ValueError("r must be positive")
+        if self.n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if not 0 < self.min_samples <= self.n_samples:
+            raise ValueError("min_samples must lie in [1, n_samples]")
+        if self.max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if self.max_pending < 0:
+            raise ValueError("max_pending must be non-negative")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive when given")
+
+
+@dataclass
+class QueryResult:
+    """One answered estimate query, with its achieved accuracy.
+
+    ``degraded`` is true when a deadline cut sampling short of
+    ``requested_samples``; ``report`` then carries the Theorem 6.1/6.2
+    guarantees instantiated at the *achieved* accuracy
+    (``eps ~ 1/sqrt(n_samples)``).
+    """
+
+    value: float
+    n_samples: int
+    requested_samples: int
+    degraded: bool = False
+    seconds: float = 0.0
+    report: "GuaranteeReport | None" = None
+    extras: dict = field(default_factory=dict)
+
+
+class InfluenceService:
+    """Cached, batched influence queries over arbitrary input graphs.
+
+    >>> service = InfluenceService(ServiceConfig(r=8, n_samples=5_000))
+    >>> service.estimate(graph, seeds=[0, 3]).value       # doctest: +SKIP
+    >>> service.estimate_many(graph, [[0], [1], [2]])     # doctest: +SKIP
+    >>> service.maximize(graph, k=10).seeds               # doctest: +SKIP
+
+    Thread-safe and embeddable: the HTTP endpoint in :mod:`repro.serve.http`
+    is a thin JSON wrapper over exactly these three methods.
+    """
+
+    def __init__(self, config: "ServiceConfig | None" = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.cache = ModelCache(
+            max_models=self.config.max_models,
+            max_bytes=self.config.max_bytes,
+            warm_dir=self.config.warm_dir,
+        )
+        self._pools: "dict[ModelKey, SamplePool]" = {}
+        self._pool_lock = threading.Lock()
+        self._build_lock = threading.Lock()
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=self.config.max_workers,
+            thread_name_prefix="repro-serve",
+        )
+        # One slot per running query plus one per queued query; a submit
+        # that finds no slot free is rejected instead of queueing.
+        self._slots = threading.BoundedSemaphore(
+            self.config.max_workers + self.config.max_pending
+        )
+        self._depth = 0
+        self._depth_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain in-flight queries and release the worker threads."""
+        self._closed = True
+        self._dispatch.shutdown(wait=True)
+
+    def __enter__(self) -> "InfluenceService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Models
+    # ------------------------------------------------------------------
+
+    def key_for(self, graph: InfluenceGraph) -> ModelKey:
+        """The cache key addressing ``graph`` under this service's config."""
+        return ModelKey.for_graph(
+            graph, r=self.config.r, seed=self.config.seed,
+            scc_backend=self.config.scc_backend,
+            executor=self.config.executor,
+        )
+
+    def model_for(self, graph: InfluenceGraph) -> CoarsenResult:
+        """The coarsened model for ``graph`` — cached, warm-loaded, or built.
+
+        Builds are single-flight: concurrent misses on the same (or any)
+        key wait for one coarsening instead of racing — every caller then
+        shares ONE model object, which the pool layer relies on (estimators
+        are bound by object identity).
+        """
+        key = self.key_for(graph)
+        model = self.cache.get(key)
+        if model is not None:
+            return model
+        with self._build_lock:
+            model = self.cache.peek(key)  # a racing builder may have won
+            if model is not None:
+                return model
+            with span("serve.model.build", n=graph.n, m=graph.m,
+                      r=self.config.r):
+                model = coarsen_influence_graph(
+                    graph,
+                    self.config.r,
+                    rng=ensure_rng(self.config.seed),
+                    executor=self.config.executor,
+                    workers=self.config.workers,
+                    scc_backend=self.config.scc_backend,
+                )
+            self.cache.put(key, model)
+            return model
+
+    def persist(self, graph: InfluenceGraph) -> "str | None":
+        """Write ``graph``'s model to the warm directory (build if needed).
+
+        Returns the archive path, or ``None`` when the service has no
+        ``warm_dir`` configured.
+        """
+        return self.cache.store_warm(self.key_for(graph), self.model_for(graph))
+
+    def _pool_for(self, key: ModelKey, model: CoarsenResult) -> SamplePool:
+        with self._pool_lock:
+            pool = self._pools.get(key)
+            # A pool must be bound to exactly the model object queries
+            # score against (estimators bind by identity); a model that
+            # was evicted and rebuilt gets a fresh pool — same seed, so
+            # the same values, just re-drawn.
+            if pool is not None and pool.graph is not model.coarse:
+                pool = None
+            if pool is None:
+                # One RNG stream per pool, seeded from the config so the
+                # pool contents depend only on (model, seed) — the source
+                # of the batched == sequential determinism guarantee.
+                pool = SamplePool(
+                    model.coarse,
+                    rng=ensure_rng(self.config.seed),
+                    model=self.config.model,
+                    chunk_sets=self.config.chunk_samples,
+                )
+                self._pools[key] = pool
+                # Pools for evicted models are dropped with them.
+                for stale in [k for k in self._pools if k not in self.cache]:
+                    del self._pools[stale]
+            return pool
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+
+    def _admit(self) -> None:
+        if self._closed:
+            raise AlgorithmError("service is closed")
+        if not self._slots.acquire(blocking=False):
+            inc("serve.rejected")
+            raise BudgetExceededError(
+                f"serve queue is full ({self.config.max_workers} running + "
+                f"{self.config.max_pending} pending); retry later or raise "
+                "max_pending"
+            )
+        with self._depth_lock:
+            self._depth += 1
+            set_gauge("serve.queue.depth", self._depth)
+
+    def _release(self) -> None:
+        with self._depth_lock:
+            self._depth -= 1
+            set_gauge("serve.queue.depth", self._depth)
+        self._slots.release()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def estimate(self, graph: InfluenceGraph, seeds: Sequence[int],
+                 n_samples: "int | None" = None) -> QueryResult:
+        """Estimate ``Inf_G(seeds)`` (Algorithm 3 over the cached model)."""
+        return self.estimate_many(graph, [seeds], n_samples=n_samples)[0]
+
+    def estimate_many(
+        self,
+        graph: InfluenceGraph,
+        seed_sets: Sequence[Sequence[int]],
+        n_samples: "int | None" = None,
+    ) -> "list[QueryResult]":
+        """Answer a batch of estimate queries against one shared model.
+
+        All queries are admitted up front (so a batch larger than the free
+        queue capacity raises :class:`BudgetExceededError` before any work
+        starts), then coalesced onto the model's sample pool.  Results come
+        back in input order and are bit-for-bit identical to issuing the
+        queries one at a time.
+        """
+        if not seed_sets:
+            return []
+        requested = self.config.n_samples if n_samples is None else n_samples
+        if requested <= 0:
+            raise AlgorithmError("n_samples must be positive")
+        # Resolve the model once, outside the per-query slots.
+        model = self.model_for(graph)
+        pool = self._pool_for(self.key_for(graph), model)
+        futures = []
+        try:
+            for seeds in seed_sets:
+                self._admit()
+                try:
+                    futures.append(self._dispatch.submit(
+                        self._run_estimate, graph, model, pool, seeds,
+                        requested,
+                    ))
+                except BaseException:
+                    self._release()
+                    raise
+        except BaseException:
+            # Roll back queries that never started; running ones release
+            # their own slot from the worker.
+            for future in futures:
+                if future.cancel():
+                    self._release()
+            raise
+        return [future.result() for future in futures]
+
+    def _run_estimate(self, graph: InfluenceGraph, model: CoarsenResult,
+                      pool: SamplePool, seeds: Sequence[int],
+                      requested: int) -> QueryResult:
+        try:
+            return self._estimate_inner(graph, model, pool, seeds, requested)
+        finally:
+            self._release()
+
+    def _estimate_inner(self, graph: InfluenceGraph, model: CoarsenResult,
+                        pool: SamplePool, seeds: Sequence[int],
+                        requested: int) -> QueryResult:
+        start = time.perf_counter()
+        deadline = None
+        if self.config.deadline_seconds is not None:
+            deadline = time.monotonic() + self.config.deadline_seconds
+        with span("serve.estimate", seeds=len(seeds), n_samples=requested):
+            # The floor is grown without a deadline so a query can always
+            # return *something* statistically meaningful.
+            floor = min(self.config.min_samples, requested)
+            pool.ensure(floor)
+            achieved = pool.ensure(requested, deadline=deadline)
+            value = estimate_on_coarse(
+                model, np.asarray(seeds, dtype=np.int64),
+                pool.estimator(achieved),
+            )
+        degraded = achieved < requested
+        report = None
+        if degraded:
+            inc("serve.deadline.degraded")
+            report = self._degradation_report(graph, model, achieved)
+        inc("serve.queries")
+        return QueryResult(
+            value=value,
+            n_samples=achieved,
+            requested_samples=requested,
+            degraded=degraded,
+            seconds=time.perf_counter() - start,
+            report=report,
+            extras={"pool_size": pool.size},
+        )
+
+    def _degradation_report(self, graph: InfluenceGraph,
+                            model: CoarsenResult,
+                            achieved: int) -> GuaranteeReport:
+        """Theorems 6.1/6.2 instantiated at the achieved sketch accuracy.
+
+        The RIS estimator's relative error concentrates as
+        ``O(1/sqrt(t))`` in the sketch size ``t``, so the degraded query
+        reports ``eps = 1/sqrt(achieved)`` — honest about what the deadline
+        actually bought.
+        """
+        eps = min(1.0, 1.0 / math.sqrt(achieved))
+        return guarantee_report(
+            graph, model,
+            estimation_eps=eps,
+            n_samples=self.config.report_samples,
+            rng=ensure_rng(self.config.seed),
+        )
+
+    def maximize(self, graph: InfluenceGraph, k: int,
+                 n_samples: "int | None" = None) -> MaximizationResult:
+        """Pick a size-``k`` seed set (Algorithm 4 over the cached model).
+
+        Deterministic for a fixed config: the sketch is the pool prefix and
+        the pull-back RNG is re-seeded per call.
+        """
+        requested = self.config.n_samples if n_samples is None else n_samples
+        model = self.model_for(graph)
+        pool = self._pool_for(self.key_for(graph), model)
+        self._admit()
+        try:
+            future = self._dispatch.submit(
+                self._run_maximize, model, pool, k, requested
+            )
+        except BaseException:
+            self._release()
+            raise
+        return future.result()
+
+    def _run_maximize(self, model: CoarsenResult, pool: SamplePool,
+                      k: int, requested: int) -> MaximizationResult:
+        try:
+            return self._maximize_inner(model, pool, k, requested)
+        finally:
+            self._release()
+
+    def _maximize_inner(self, model: CoarsenResult, pool: SamplePool,
+                        k: int, requested: int) -> MaximizationResult:
+        with span("serve.maximize", k=k, n_samples=requested):
+            pool.ensure(requested)
+            result = maximize_on_coarse(
+                model, k, pool.maximizer(requested),
+                rng=ensure_rng(self.config.seed),
+            )
+        inc("serve.queries")
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A JSON-able snapshot of cache and pool state (the ``/stats`` body)."""
+        return {
+            "models": len(self.cache),
+            "model_bytes": self.cache.nbytes(),
+            "pools": {
+                key.token(): pool.size for key, pool in self._pools.items()
+            },
+            "queue_depth": self._depth,
+            "config": {
+                "r": self.config.r,
+                "seed": self.config.seed,
+                "scc_backend": self.config.scc_backend,
+                "executor": self.config.executor,
+                "n_samples": self.config.n_samples,
+                "max_workers": self.config.max_workers,
+                "max_pending": self.config.max_pending,
+                "deadline_seconds": self.config.deadline_seconds,
+            },
+        }

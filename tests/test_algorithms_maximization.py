@@ -38,10 +38,10 @@ class _ExactEstimator:
 
 
 SKETCH_MAXIMIZERS = [
-    lambda: RISMaximizer(n_sets=3_000, rng=0),
-    lambda: IMMMaximizer(eps=0.3, rng=0, max_sets=30_000),
-    lambda: SSAMaximizer(eps=0.2, delta=0.1, rng=0, max_sets=60_000),
-    lambda: DSSAMaximizer(eps=0.2, delta=0.1, rng=0, max_sets=60_000),
+    lambda: RISMaximizer(n_samples=3_000, rng=0),
+    lambda: IMMMaximizer(eps=0.3, rng=0, max_samples=30_000),
+    lambda: SSAMaximizer(eps=0.2, delta=0.1, rng=0, max_samples=60_000),
+    lambda: DSSAMaximizer(eps=0.2, delta=0.1, rng=0, max_samples=60_000),
 ]
 
 
@@ -109,7 +109,7 @@ class TestParameterValidation:
         g = star_graph()
         for maximizer in (
             DegreeHeuristic(),
-            RISMaximizer(n_sets=10, rng=0),
+            RISMaximizer(n_samples=10, rng=0),
             GreedyMaximizer(_ExactEstimator()),
             CELFMaximizer(_ExactEstimator()),
             IMMMaximizer(rng=0),
@@ -123,7 +123,7 @@ class TestParameterValidation:
 
     def test_ris_rejects_bad_budget(self):
         with pytest.raises(AlgorithmError):
-            RISMaximizer(n_sets=0)
+            RISMaximizer(n_samples=0)
 
     def test_imm_rejects_bad_eps(self):
         with pytest.raises(AlgorithmError):

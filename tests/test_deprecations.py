@@ -1,0 +1,194 @@
+"""The 1.0 -> 2.0 deprecation contract.
+
+Every old spelling must (a) emit exactly one DeprecationWarning naming its
+replacement, (b) delegate to the same implementation — byte-identical
+results — and (c) refuse ambiguous calls that pass both spellings.  The
+unified facade must dispatch to the same implementations the old entry
+points exposed.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    DSSAMaximizer,
+    IMMMaximizer,
+    MonteCarloEstimator,
+    RISEstimator,
+    RISMaximizer,
+    SSAMaximizer,
+    TIMPlusMaximizer,
+)
+from repro.core import (
+    coarsen_influence_graph,
+    coarsen_influence_graph_parallel,
+    coarsen_influence_graph_sublinear,
+)
+from repro.storage import TripletStore
+
+from .conftest import random_graph
+
+
+def one_deprecation(record) -> warnings.WarningMessage:
+    """The single DeprecationWarning in a warnings record."""
+    relevant = [w for w in record
+                if issubclass(w.category, DeprecationWarning)]
+    assert len(relevant) == 1
+    return relevant[0]
+
+
+class TestCoarsenShims:
+    def test_parallel_shim_warns_and_matches(self):
+        g = random_graph(40, 160, seed=2)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            old = coarsen_influence_graph_parallel(
+                g, r=4, workers=2, rng=0, executor="thread"
+            )
+        w = one_deprecation(record)
+        assert "coarsen_influence_graph(" in str(w.message)
+        new = coarsen_influence_graph(g, r=4, workers=2, rng=0,
+                                      executor="thread")
+        assert old.coarse == new.coarse
+        assert np.array_equal(old.pi, new.pi)
+
+    def test_sublinear_shim_warns_and_matches(self, tmp_path):
+        g = random_graph(40, 160, seed=2)
+        src = TripletStore.from_graph(g, tmp_path / "g.trip")
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            old = coarsen_influence_graph_sublinear(
+                src, tmp_path / "h_old.trip", r=4, rng=0
+            )
+        w = one_deprecation(record)
+        assert "space='sublinear'" in str(w.message)
+        src2 = TripletStore.from_graph(g, tmp_path / "g2.trip")
+        new = coarsen_influence_graph(
+            src2, r=4, rng=0, space="sublinear",
+            out_path=tmp_path / "h_new.trip",
+        )
+        assert old.load().coarse == new.load().coarse
+
+    def test_importing_old_names_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.core import (  # noqa: F401
+                coarsen_influence_graph_parallel,
+                coarsen_influence_graph_sublinear,
+            )
+        assert record == []
+
+
+class TestFacadeDispatch:
+    def test_serial_matches_old_default(self):
+        g = random_graph(40, 160, seed=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            parallel = coarsen_influence_graph_parallel(
+                g, r=4, workers=3, rng=1, executor="serial"
+            )
+        facade = coarsen_influence_graph(g, r=4, workers=3, rng=1,
+                                         executor="serial")
+        assert parallel.coarse == facade.coarse
+
+    def test_workers_alone_selects_algorithm_6(self):
+        g = random_graph(40, 160, seed=4)
+        res = coarsen_influence_graph(g, r=4, workers=2, rng=0,
+                                      executor="thread")
+        assert res.stats.extras["executor"] == "thread"
+
+    def test_linear_rejects_sublinear_knobs(self, tmp_path):
+        g = random_graph(20, 60, seed=0)
+        from repro.errors import CoarseningError
+        with pytest.raises(CoarseningError, match="sublinear"):
+            coarsen_influence_graph(g, r=2, out_path=tmp_path / "x")
+        with pytest.raises(CoarseningError, match="out_path"):
+            coarsen_influence_graph(g, r=2, space="sublinear")
+
+
+CONSTRUCTOR_CASES = [
+    # (factory_old, factory_new, old_kwarg, new_attr)
+    (lambda: MonteCarloEstimator(n_simulations=123),
+     lambda: MonteCarloEstimator(n_samples=123),
+     "n_simulations", "n_samples"),
+    (lambda: RISMaximizer(n_sets=321, rng=0),
+     lambda: RISMaximizer(n_samples=321, rng=0),
+     "n_sets", "n_samples"),
+    (lambda: RISEstimator(n_sets=321, rng=0),
+     lambda: RISEstimator(n_samples=321, rng=0),
+     "n_sets", "n_samples"),
+    (lambda: IMMMaximizer(eps=0.3, max_sets=777),
+     lambda: IMMMaximizer(eps=0.3, max_samples=777),
+     "max_sets", "max_samples"),
+    (lambda: TIMPlusMaximizer(eps=0.3, max_sets=777),
+     lambda: TIMPlusMaximizer(eps=0.3, max_samples=777),
+     "max_sets", "max_samples"),
+    (lambda: SSAMaximizer(eps=0.2, max_sets=777),
+     lambda: SSAMaximizer(eps=0.2, max_samples=777),
+     "max_sets", "max_samples"),
+    (lambda: DSSAMaximizer(eps=0.2, max_sets=777),
+     lambda: DSSAMaximizer(eps=0.2, max_samples=777),
+     "max_sets", "max_samples"),
+]
+
+
+class TestConstructorAliases:
+    @pytest.mark.parametrize(
+        "factory_old,factory_new,old_kwarg,new_attr",
+        CONSTRUCTOR_CASES,
+        ids=[c[2] + ":" + type(c[1]()).__name__ for c in CONSTRUCTOR_CASES],
+    )
+    def test_old_kwarg_warns_once_and_delegates(
+        self, factory_old, factory_new, old_kwarg, new_attr
+    ):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            obj = factory_old()
+        w = one_deprecation(record)
+        assert old_kwarg in str(w.message)
+        assert new_attr in str(w.message)
+        assert getattr(obj, new_attr) == getattr(factory_new(), new_attr)
+
+    @pytest.mark.parametrize(
+        "factory_old,factory_new,old_kwarg,new_attr",
+        CONSTRUCTOR_CASES,
+        ids=[c[2] + ":" + type(c[1]()).__name__ for c in CONSTRUCTOR_CASES],
+    )
+    def test_new_kwarg_does_not_warn(
+        self, factory_old, factory_new, old_kwarg, new_attr
+    ):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            factory_new()
+
+    def test_both_spellings_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            MonteCarloEstimator(n_samples=5, n_simulations=5)
+        with pytest.raises(TypeError, match="not both"):
+            RISMaximizer(n_samples=5, n_sets=5)
+        with pytest.raises(TypeError, match="not both"):
+            IMMMaximizer(max_samples=5, max_sets=5)
+
+    def test_deprecated_property_warns(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            est = MonteCarloEstimator(n_samples=42)
+            ris = RISMaximizer(n_samples=7, rng=0)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert est.n_simulations == 42
+            assert ris.n_sets == 7
+        assert len(record) == 2
+
+    def test_old_spelling_behaves_identically(self):
+        g = random_graph(40, 160, seed=6)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = RISMaximizer(n_sets=2_000, rng=1).select(g, 2)
+        new = RISMaximizer(n_samples=2_000, rng=1).select(g, 2)
+        assert old.seeds.tolist() == new.seeds.tolist()
+        assert old.estimated_influence == new.estimated_influence

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import coarsen_influence_graph, coarsen_influence_graph_sublinear
+from repro.core import coarsen_influence_graph
 from repro.storage import TripletStore
 
 from .conftest import random_graph
@@ -62,8 +62,7 @@ class TestAlgorithm1VsAlgorithm2:
         lin = coarsen_influence_graph(graph, r=r, rng=seed)
 
         src = TripletStore.from_graph(graph, str(tmp_path / "g.trip"))
-        sub = coarsen_influence_graph_sublinear(
-            src, str(tmp_path / "h.trip"), r=r, rng=seed,
+        sub = coarsen_influence_graph(src, space="sublinear", out_path=str(tmp_path / "h.trip"), r=r, rng=seed,
             work_dir=str(tmp_path),
         )
 
@@ -77,8 +76,7 @@ class TestAlgorithm1VsAlgorithm2:
         graph = random_graph(n=60, m=300, seed=5, p_low=0.1, p_high=0.8)
         lin = coarsen_influence_graph(graph, r=4, rng=5)
         src = TripletStore.from_graph(graph, str(tmp_path / "g.trip"))
-        sub = coarsen_influence_graph_sublinear(
-            src, str(tmp_path / "h.trip"), r=4, rng=5,
+        sub = coarsen_influence_graph(src, space="sublinear", out_path=str(tmp_path / "h.trip"), r=4, rng=5,
             work_dir=str(tmp_path), chunk_edges=17,
         )
         assert np.array_equal(lin.pi, sub.pi)

@@ -24,7 +24,7 @@ def star_graph(leaves: int = 8, p: float = 0.9):
 
 
 MAXIMIZERS = [
-    lambda: TIMPlusMaximizer(eps=0.3, rng=0, max_sets=30_000),
+    lambda: TIMPlusMaximizer(eps=0.3, rng=0, max_samples=30_000),
     lambda: IRIEMaximizer(),
     lambda: SnapshotGreedyMaximizer(n_snapshots=80, rng=0),
 ]
@@ -72,7 +72,7 @@ class TestTIMPlus:
 
     def test_kpt_at_least_trivial_bound(self):
         g = star_graph(leaves=10, p=0.5)
-        tim = TIMPlusMaximizer(eps=0.3, rng=0, max_sets=20_000)
+        tim = TIMPlusMaximizer(eps=0.3, rng=0, max_samples=20_000)
         result = tim.select(g, 1)
         assert result.extras["kpt"] >= g.total_weight / g.n
 
@@ -80,7 +80,7 @@ class TestTIMPlus:
         from repro.core import coarsen_influence_graph
 
         coarse = coarsen_influence_graph(two_cliques_graph, r=4, rng=0).coarse
-        result = TIMPlusMaximizer(eps=0.3, rng=1, max_sets=20_000).select(
+        result = TIMPlusMaximizer(eps=0.3, rng=1, max_samples=20_000).select(
             coarse, 1
         )
         assert coarse.weights[result.seeds[0]] == 4

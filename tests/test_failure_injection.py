@@ -13,7 +13,6 @@ from repro import (
     PairStore,
     TripletStore,
     coarsen_influence_graph,
-    coarsen_influence_graph_sublinear,
 )
 from repro.algorithms import DSSAMaximizer, MonteCarloEstimator
 from repro.core import DynamicCoarsener, coarsen
@@ -120,8 +119,7 @@ class TestAdversarialParameters:
         g = random_graph(8, 20, seed=0)
         src = TripletStore.from_graph(g, tmp_path / "g.trip")
         # chunk_edges=1 is the pathological-but-legal extreme
-        res = coarsen_influence_graph_sublinear(
-            src, tmp_path / "h.trip", r=2, rng=0, chunk_edges=1
+        res = coarsen_influence_graph(src, space="sublinear", out_path=tmp_path / "h.trip", r=2, rng=0, chunk_edges=1
         )
         assert res.load().coarse.n >= 1
 

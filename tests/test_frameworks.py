@@ -81,7 +81,7 @@ class TestMaximizationFramework:
     def test_selects_high_influence_block(self, two_cliques_graph):
         result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
         out = maximize_on_coarse(
-            result, 1, RISMaximizer(n_sets=2_000, rng=1), rng=0
+            result, 1, RISMaximizer(n_samples=2_000, rng=1), rng=0
         )
         # The upstream clique {0..3} reaches everything via the bridge, so
         # the single seed must be one of its members.
@@ -95,7 +95,7 @@ class TestMaximizationFramework:
     def test_estimated_influence_passed_through(self, two_cliques_graph):
         result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
         out = maximize_on_coarse(
-            result, 1, RISMaximizer(n_sets=1_000, rng=2), rng=0
+            result, 1, RISMaximizer(n_samples=1_000, rng=2), rng=0
         )
         assert out.estimated_influence > 0
 

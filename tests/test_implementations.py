@@ -10,8 +10,6 @@ import pytest
 
 from repro.core import (
     coarsen_influence_graph,
-    coarsen_influence_graph_parallel,
-    coarsen_influence_graph_sublinear,
     split_rounds,
 )
 from repro.errors import AlgorithmError, CoarseningError
@@ -74,8 +72,7 @@ class TestSublinearSpace:
         """Same numpy stream => identical output graph and mapping."""
         g = random_graph(30, 150, seed=seed, p_low=0.2, p_high=0.95)
         src = TripletStore.from_graph(g, tmp_path / "g.trip")
-        sub = coarsen_influence_graph_sublinear(
-            src, tmp_path / "h.trip", r=5, rng=seed
+        sub = coarsen_influence_graph(src, space="sublinear", out_path=tmp_path / "h.trip", r=5, rng=seed
         )
         lin = coarsen_influence_graph(g, r=5, rng=seed)
         loaded = sub.load()
@@ -85,26 +82,23 @@ class TestSublinearSpace:
     def test_chunked_streaming_same_result(self, tmp_path):
         g = random_graph(25, 100, seed=9, p_low=0.3, p_high=0.9)
         src = TripletStore.from_graph(g, tmp_path / "g.trip", chunk_edges=11)
-        small = coarsen_influence_graph_sublinear(
-            src, tmp_path / "h1.trip", r=4, rng=5, chunk_edges=7
+        small = coarsen_influence_graph(src, space="sublinear", out_path=tmp_path / "h1.trip", r=4, rng=5, chunk_edges=7
         )
         src2 = TripletStore.from_graph(g, tmp_path / "g2.trip")
-        big = coarsen_influence_graph_sublinear(
-            src2, tmp_path / "h2.trip", r=4, rng=5, chunk_edges=1 << 16
+        big = coarsen_influence_graph(src2, space="sublinear", out_path=tmp_path / "h2.trip", r=4, rng=5, chunk_edges=1 << 16
         )
         assert small.load().coarse == big.load().coarse
 
     def test_sample_stores_cleaned_up(self, tmp_path):
         g = random_graph(10, 30, seed=1)
         src = TripletStore.from_graph(g, tmp_path / "g.trip")
-        coarsen_influence_graph_sublinear(src, tmp_path / "h.trip", r=3, rng=0)
+        coarsen_influence_graph(src, space="sublinear", out_path=tmp_path / "h.trip", r=3, rng=0)
         leftovers = [p for p in tmp_path.iterdir() if "live_edge" in p.name]
         assert leftovers == []
 
     def test_f_prime_stat_reported(self, tmp_path, two_cliques_graph):
         src = TripletStore.from_graph(two_cliques_graph, tmp_path / "g.trip")
-        res = coarsen_influence_graph_sublinear(
-            src, tmp_path / "h.trip", r=4, rng=0
+        res = coarsen_influence_graph(src, space="sublinear", out_path=tmp_path / "h.trip", r=4, rng=0
         )
         assert "f_prime_edges" in res.stats.extras
         # the bridge edge touches a weight-4 component, so it is in F'
@@ -113,7 +107,7 @@ class TestSublinearSpace:
     def test_negative_r_rejected(self, tmp_path, paper_graph):
         src = TripletStore.from_graph(paper_graph, tmp_path / "g.trip")
         with pytest.raises(CoarseningError):
-            coarsen_influence_graph_sublinear(src, tmp_path / "h.trip", r=-1)
+            coarsen_influence_graph(src, space="sublinear", out_path=tmp_path / "h.trip", r=-1)
 
 
 class TestParallel:
@@ -141,41 +135,41 @@ class TestParallel:
 
     @pytest.mark.parametrize("executor", ["serial", "thread"])
     def test_executors_match_serial(self, two_cliques_graph, executor):
-        serial = coarsen_influence_graph_parallel(
+        serial = coarsen_influence_graph(
             two_cliques_graph, r=8, workers=4, rng=3, executor="serial"
         )
-        other = coarsen_influence_graph_parallel(
+        other = coarsen_influence_graph(
             two_cliques_graph, r=8, workers=4, rng=3, executor=executor
         )
         assert serial.coarse == other.coarse
         assert np.array_equal(serial.pi, other.pi)
 
     def test_process_executor(self, two_cliques_graph):
-        serial = coarsen_influence_graph_parallel(
+        serial = coarsen_influence_graph(
             two_cliques_graph, r=4, workers=2, rng=3, executor="serial"
         )
-        proc = coarsen_influence_graph_parallel(
+        proc = coarsen_influence_graph(
             two_cliques_graph, r=4, workers=2, rng=3, executor="process"
         )
         assert serial.coarse == proc.coarse
 
     def test_invalid_executor(self, two_cliques_graph):
-        with pytest.raises(AlgorithmError):
-            coarsen_influence_graph_parallel(
+        with pytest.raises(CoarseningError):
+            coarsen_influence_graph(
                 two_cliques_graph, r=4, workers=2, executor="gpu"
             )
 
     def test_same_distribution_as_sequential(self, two_cliques_graph):
         """Both find the two cliques regardless of parallel split."""
         seq = coarsen_influence_graph(two_cliques_graph, r=8, rng=0)
-        par = coarsen_influence_graph_parallel(
+        par = coarsen_influence_graph(
             two_cliques_graph, r=8, workers=4, rng=0, executor="serial"
         )
         assert seq.coarse.n == par.coarse.n == 2
         assert seq.coarse.weights.tolist() == par.coarse.weights.tolist()
 
     def test_stats_extras(self, two_cliques_graph):
-        res = coarsen_influence_graph_parallel(
+        res = coarsen_influence_graph(
             two_cliques_graph, r=7, workers=3, rng=0, executor="serial"
         )
         assert res.stats.extras["workers"] == 3
@@ -183,7 +177,7 @@ class TestParallel:
         assert sum(res.stats.extras["rounds"]) == 7
 
     def test_worker_clamp_recorded_in_extras(self, two_cliques_graph):
-        res = coarsen_influence_graph_parallel(
+        res = coarsen_influence_graph(
             two_cliques_graph, r=2, workers=8, rng=0, executor="serial"
         )
         assert res.stats.extras["workers"] == 2
@@ -192,17 +186,17 @@ class TestParallel:
 
     def test_clamped_pool_matches_exact_pool(self, two_cliques_graph):
         """workers=8 with r=2 is the same run as workers=2 with r=2."""
-        clamped = coarsen_influence_graph_parallel(
+        clamped = coarsen_influence_graph(
             two_cliques_graph, r=2, workers=8, rng=5, executor="serial"
         )
-        exact = coarsen_influence_graph_parallel(
+        exact = coarsen_influence_graph(
             two_cliques_graph, r=2, workers=2, rng=5, executor="serial"
         )
         assert clamped.coarse == exact.coarse
         assert np.array_equal(clamped.pi, exact.pi)
 
     def test_r_zero_parallel_is_trivial(self, paper_graph):
-        res = coarsen_influence_graph_parallel(
+        res = coarsen_influence_graph(
             paper_graph, r=0, workers=4, rng=0, executor="serial"
         )
         assert res.coarse.n == 1

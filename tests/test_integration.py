@@ -15,8 +15,6 @@ from repro import (
     MonteCarloEstimator,
     TripletStore,
     coarsen_influence_graph,
-    coarsen_influence_graph_parallel,
-    coarsen_influence_graph_sublinear,
     estimate_on_coarse,
     load_dataset,
     maximize_on_coarse,
@@ -58,7 +56,7 @@ class TestEstimationPipeline:
             slashdot_coarse, seeds, MonteCarloEstimator(5_000, rng=4)
         )
         ris = estimate_on_coarse(
-            slashdot_coarse, seeds, RISEstimator(n_sets=20_000, rng=5)
+            slashdot_coarse, seeds, RISEstimator(n_samples=20_000, rng=5)
         )
         assert ris == pytest.approx(mc, rel=0.15)
 
@@ -89,8 +87,7 @@ class TestMaximizationPipeline:
 class TestStorageRoundTrips:
     def test_disk_pipeline_equals_in_memory(self, tmp_path, slashdot):
         src = TripletStore.from_graph(slashdot, tmp_path / "g.trip")
-        sub = coarsen_influence_graph_sublinear(
-            src, tmp_path / "h.trip", r=8, rng=7
+        sub = coarsen_influence_graph(src, space="sublinear", out_path=tmp_path / "h.trip", r=8, rng=7
         )
         lin = coarsen_influence_graph(slashdot, r=8, rng=7)
         assert sub.load().coarse == lin.coarse
@@ -107,7 +104,7 @@ class TestStorageRoundTrips:
 
 class TestParallelConsistency:
     def test_parallel_result_usable_by_frameworks(self, slashdot):
-        result = coarsen_influence_graph_parallel(
+        result = coarsen_influence_graph(
             slashdot, r=8, workers=2, rng=0, executor="thread"
         )
         est = estimate_on_coarse(

@@ -56,7 +56,7 @@ class TestLTMaximization:
 
     def test_ris_finds_hub_under_lt(self):
         g = self._lt_star()
-        result = RISMaximizer(n_sets=2_000, rng=0, model="lt").select(g, 1)
+        result = RISMaximizer(n_samples=2_000, rng=0, model="lt").select(g, 1)
         assert result.seeds.tolist() == [0]
         # deterministic star: hub influence is exactly 9 under LT/WC
         assert result.estimated_influence == pytest.approx(9.0, rel=0.1)
@@ -70,7 +70,7 @@ class TestLTMaximization:
 
     def test_ris_estimator_under_lt_matches_simulation(self):
         g = wc(random_graph(15, 45, seed=5))
-        est = RISEstimator(n_sets=30_000, rng=0, model="lt")
+        est = RISEstimator(n_samples=30_000, rng=0, model="lt")
         seeds = np.array([0, 3])
         sim = estimate_influence_lt(g, seeds, 20_000, rng=1)
         assert est.estimate(g, seeds) == pytest.approx(sim, rel=0.07)

@@ -18,7 +18,6 @@ from repro.bench import (
 )
 from repro.core import (
     coarsen_influence_graph,
-    coarsen_influence_graph_parallel,
 )
 
 
@@ -268,7 +267,7 @@ class TestPipelineInstrumentation:
     def test_parallel_thread_executor_traces_are_valid(self):
         g = random_graph(80, 400, seed=7)
         result, records = traced(
-            lambda: coarsen_influence_graph_parallel(
+            lambda: coarsen_influence_graph(
                 g, r=4, workers=2, rng=0, executor="thread"
             )
         )

@@ -17,7 +17,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import obs
-from repro.core import GraphHandle, coarsen_influence_graph_parallel
+from repro.core import GraphHandle, coarsen_influence_graph
 from repro.errors import AlgorithmError, PartitionError
 from repro.partition import Partition, meet_all
 
@@ -25,7 +25,7 @@ from .conftest import random_graph
 
 
 def _run(graph, executor, r=8, workers=4, rng=3):
-    return coarsen_influence_graph_parallel(
+    return coarsen_influence_graph(
         graph, r=r, workers=workers, rng=rng, executor=executor
     )
 
@@ -75,7 +75,7 @@ class TestBroadcastAccounting:
         payload = 8 * (g.n + 1) + 16 * g.m
         registry = obs.MetricsRegistry()
         with obs.use_metrics(registry):
-            res = coarsen_influence_graph_parallel(
+            res = coarsen_influence_graph(
                 g, r=4, workers=4, rng=0, executor="process"
             )
         assert registry.counter("coarsen.parallel.broadcast_bytes") == payload

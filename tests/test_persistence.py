@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.core import coarsen_influence_graph, coarsen_influence_graph_parallel
+from repro.core import coarsen_influence_graph
 from repro.core.persistence import load_coarsening, save_coarsening
 from repro.errors import GraphFormatError
 
@@ -51,7 +51,7 @@ class TestRoundTrip:
                                                 two_cliques_graph):
         """v2 fixes the round trip dropping the very stats a parallel run
         produces: the per-stage breakdown and workers/executor/rounds."""
-        result = coarsen_influence_graph_parallel(
+        result = coarsen_influence_graph(
             two_cliques_graph, r=6, workers=3, rng=0, executor="serial"
         )
         assert result.stats.stage_seconds  # sanity: there is something to lose
@@ -103,7 +103,7 @@ class TestVersionCompat:
     def test_v1_archive_still_loads(self, tmp_path, two_cliques_graph):
         """Archives written by the version-1 layout (no stage_seconds or
         extras in the meta blob) load with empty dicts."""
-        result = coarsen_influence_graph_parallel(
+        result = coarsen_influence_graph(
             two_cliques_graph, r=4, workers=2, rng=0, executor="serial"
         )
         path = tmp_path / "v1.npz"
