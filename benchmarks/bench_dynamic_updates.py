@@ -41,7 +41,7 @@ def generate() -> dict:
         else:
             u = int(rng.integers(graph.n))
             v = int(rng.integers(graph.n))
-            if u == v or (u, v) in dyn._edges:
+            if u == v or dyn.has_edge(u, v):
                 continue
             p = float(min(1.0, rng.exponential(0.1) + 1e-6))
             dyn.insert_edge(u, v, p)

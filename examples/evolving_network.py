@@ -41,7 +41,7 @@ for step in range(1, 101):
     else:
         while True:
             u, v = int(rng.integers(graph.n)), int(rng.integers(graph.n))
-            if u != v and (u, v) not in dyn._edges:
+            if u != v and not dyn.has_edge(u, v):
                 break
         dyn.insert_edge(u, v, float(min(1.0, rng.exponential(0.1) + 1e-6)))
         inserted.append((u, v))

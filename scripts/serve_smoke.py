@@ -2,10 +2,11 @@
 
 Launches the CLI server as a real subprocess on an ephemeral port, waits
 for its "serving on http://HOST:PORT" announcement, exercises the HTTP
-surface (``/healthz``, ``/estimate``, ``/stats``), then delivers SIGINT
-and asserts a clean shutdown — the documented Ctrl-C path.  This is the
-one test that covers argv parsing, stdout protocol, and signal handling
-together; CI runs it on every push.
+surface (``/healthz``, ``/estimate``, ``/stats``, and the live-graph
+mutation routes ``/insert_edge`` / ``/apply_deltas``), then delivers
+SIGINT and asserts a clean shutdown — the documented Ctrl-C path.  This
+is the one test that covers argv parsing, stdout protocol, and signal
+handling together; CI runs it on every push.
 
 Usage: ``PYTHONPATH=src python scripts/serve_smoke.py``
 """
@@ -85,11 +86,29 @@ def main() -> int:
                              {"seeds": [0, 3], "n_samples": 2000})
             assert estimate["value"] > 0, estimate
             assert estimate["n_samples"] == 2000, estimate
+            assert estimate["epoch"] == 0, estimate
+
+            # Live-graph round trip: mutate, check the epoch advances and
+            # queries keep answering (on the mutated graph).
+            inserted = _post(f"{base}/insert_edge",
+                             {"u": 0, "v": 30, "p": 0.5})
+            assert inserted["epoch"] == 1, inserted
+            assert inserted["applied"] == 1, inserted
+            batched = _post(f"{base}/apply_deltas", {"deltas": [
+                {"op": "delete", "u": 0, "v": 30},
+                {"op": "insert", "u": 5, "v": 40, "p": 0.3},
+            ]})
+            assert batched["epoch"] == 2, batched
+            assert batched["applied"] == 2, batched
+            estimate2 = _post(f"{base}/estimate",
+                              {"seeds": [0, 3], "n_samples": 2000})
+            assert estimate2["epoch"] == 2, estimate2
+            assert estimate2["value"] > 0, estimate2
 
             with urllib.request.urlopen(f"{base}/stats",
                                         timeout=TIMEOUT) as response:
                 stats = json.loads(response.read().decode("utf-8"))
-            assert stats["models"] == 1, stats
+            assert stats["dynamic"][0]["epoch"] == 2, stats
 
             proc.send_signal(signal.SIGINT)
             code = proc.wait(timeout=TIMEOUT)

@@ -42,8 +42,10 @@ from .analysis import (
 from .core import (
     CoarsenResult,
     CoarsenStats,
+    Delta,
     DynamicCoarsener,
     coarsen,
+    coarsen_addressable,
     coarsen_influence_graph,
     coarsen_influence_graph_parallel,
     coarsen_influence_graph_sublinear,
@@ -63,7 +65,7 @@ from .errors import (
 )
 from .graph import GraphBuilder, InfluenceGraph, read_edge_list, write_edge_list
 from .partition import Partition
-from .serve import InfluenceService, QueryResult, ServiceConfig
+from .serve import DynamicModel, InfluenceService, QueryResult, ServiceConfig
 from .storage import PairStore, TripletStore
 
 __version__ = "1.0.0"
@@ -84,6 +86,8 @@ __all__ = [
     "coarsen_influence_graph_sublinear",
     "coarsen_influence_graph_parallel",
     "DynamicCoarsener",
+    "Delta",
+    "coarsen_addressable",
     "CoarsenResult",
     "CoarsenStats",
     # frameworks
@@ -93,6 +97,7 @@ __all__ = [
     "InfluenceService",
     "ServiceConfig",
     "QueryResult",
+    "DynamicModel",
     # diffusion + algorithms
     "simulate_ic",
     "estimate_influence",

@@ -246,16 +246,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         args.reverse)
     config = ServiceConfig(
         r=args.r, seed=args.seed, scc_backend=args.scc_backend,
+        sampler=args.sampler,
         n_samples=args.simulations, max_models=args.max_models,
         warm_dir=args.warm_dir, max_workers=args.workers,
         max_pending=args.max_pending, deadline_seconds=args.deadline,
     )
     service = InfluenceService(config)
     print("coarsening model (one-time cost)...", file=sys.stderr)
-    service.model_for(graph)
+    dynamic = None
+    if args.sampler == "addressable":
+        # Live-graph mode: /insert_edge, /delete_edge, /apply_deltas
+        # mutate the served graph in place (unless --readonly).
+        dynamic = service.attach_dynamic(graph)
+    else:
+        service.model_for(graph)
     if args.warm_dir:
         service.persist(graph)
-    server = make_server(service, graph, host=args.host, port=args.port)
+    server = make_server(service, graph, host=args.host, port=args.port,
+                         dynamic=dynamic, readonly=args.readonly)
     host, port = server.server_address[:2]
     # flush=True so wrappers that parse the port (scripts/serve_smoke.py)
     # see it before the first request.
@@ -370,6 +378,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="resident coarsened models (LRU beyond)")
     p_serve.add_argument("--warm-dir", default=None,
                          help="directory of persisted models for warm starts")
+    p_serve.add_argument("--sampler", choices=["addressable", "stream"],
+                         default="addressable",
+                         help="live-edge coin discipline; 'addressable' "
+                              "(default) serves a live graph with the "
+                              "/insert_edge, /delete_edge and /apply_deltas "
+                              "routes enabled, 'stream' serves the static "
+                              "Algorithm 1 sampler")
+    p_serve.add_argument("--readonly", action="store_true",
+                         help="reject mutation routes with 403 (live-graph "
+                              "mode only)")
 
     from .lint.cli import build_parser as lint_build_parser
 

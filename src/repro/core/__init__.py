@@ -17,7 +17,7 @@ from .api import (
     coarsen_influence_graph_sublinear,
 )
 from .coarsen import check_partition_strongly_connected, coarsen
-from .dynamic import DynamicCoarsener, DynamicStats
+from .dynamic import Delta, DynamicCoarsener, DynamicStats, coarsen_addressable
 from .frameworks import (
     InfluenceEstimator,
     InfluenceMaximizer,
@@ -50,8 +50,10 @@ __all__ = [
     "SublinearResult",
     "CoarsenResult",
     "CoarsenStats",
+    "Delta",
     "DynamicCoarsener",
     "DynamicStats",
+    "coarsen_addressable",
     "estimate_on_coarse",
     "maximize_on_coarse",
     "InfluenceEstimator",

@@ -17,6 +17,10 @@ beyond the library itself:
   ``estimate_many``, ``maximize`` behind a thread-pool dispatcher with
   bounded-queue admission control (:class:`~repro.errors
   .BudgetExceededError` on overflow);
+* :class:`DynamicModel` (:mod:`.dynamic`) — live-graph lineages: edge
+  mutations maintained incrementally by Algorithm 7 under addressable
+  coins and published as content-addressed delta-epochs, with
+  epoch-consistent queries racing updates safely;
 * :mod:`.http` — a small stdlib JSON endpoint (``repro serve``) for shell
   and load-test use.
 
@@ -27,6 +31,7 @@ semantics and ``benchmarks/bench_serve.py`` for the throughput evidence.
 """
 
 from .cache import ModelCache, ModelKey
+from .dynamic import DynamicModel
 from .pool import PoolMaximizer, SamplePool
 from .service import InfluenceService, QueryResult, ServiceConfig
 
@@ -34,6 +39,7 @@ __all__ = [
     "InfluenceService",
     "ServiceConfig",
     "QueryResult",
+    "DynamicModel",
     "ModelCache",
     "ModelKey",
     "SamplePool",

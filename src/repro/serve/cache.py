@@ -51,6 +51,16 @@ class ModelKey:
     object.  The remaining fields are exactly the parameters that change
     the coarsening output; anything that does not (e.g. the thread count
     for a fixed executor) stays out of the key.
+
+    ``sampler`` names the coin discipline ("stream" for the sequential
+    Algorithm 1 sampler, "addressable" for counter-based per-edge coins —
+    see :mod:`repro.core.dynamic`).  It is part of the key *and* the warm
+    stamp because the two disciplines realise different live-edge samples
+    for the same seed.  For a live (mutating) graph this is also what makes
+    epoch versioning content-addressed: each delta-epoch has a new graph
+    digest, hence a new key — archives or cache lines from a previous
+    epoch can never alias the current model, and a stale-epoch archive
+    degrades to an ordinary miss.
     """
 
     graph_digest: str
@@ -58,18 +68,21 @@ class ModelKey:
     seed: int
     scc_backend: str
     executor: str
+    sampler: str = "stream"
 
     @classmethod
     def for_graph(cls, graph: InfluenceGraph, r: int, seed: int,
-                  scc_backend: str, executor: str) -> "ModelKey":
+                  scc_backend: str, executor: str,
+                  sampler: str = "stream") -> "ModelKey":
         """The key addressing ``graph`` coarsened under these parameters."""
         return cls(graph_digest=graph.digest(), r=int(r), seed=int(seed),
-                   scc_backend=scc_backend, executor=executor)
+                   scc_backend=scc_backend, executor=executor,
+                   sampler=sampler)
 
     def token(self) -> str:
         """A short filesystem-safe name for this key (warm archives)."""
         payload = "|".join([self.graph_digest, str(self.r), str(self.seed),
-                            self.scc_backend, self.executor])
+                            self.scc_backend, self.executor, self.sampler])
         return hashlib.blake2b(payload.encode("utf-8"),
                                digest_size=12).hexdigest()
 
@@ -81,6 +94,7 @@ class ModelKey:
             "seed": self.seed,
             "scc_backend": self.scc_backend,
             "executor": self.executor,
+            "sampler": self.sampler,
         }
 
 

@@ -11,14 +11,24 @@ Routes (all bodies JSON):
 * ``POST /estimate``        — ``{"seeds": [0, 3], "n_samples": 5000?}``
 * ``POST /estimate_many``   — ``{"seed_sets": [[0], [1, 2]], "n_samples": ...?}``
 * ``POST /maximize``        — ``{"k": 10, "n_samples": ...?}``
+* ``POST /insert_edge``     — ``{"u": 0, "v": 8, "p": 0.3}`` (live graphs)
+* ``POST /delete_edge``     — ``{"u": 0, "v": 8}`` (live graphs)
+* ``POST /apply_deltas``    — ``{"deltas": [{"op": "insert", ...}, ...]}``
 * ``GET  /healthz``         — liveness
 * ``GET  /stats``           — :meth:`InfluenceService.stats`
 
+When the server fronts a live graph (a :class:`~.dynamic.DynamicModel`),
+every query reply carries the ``"epoch"`` it was answered at, and the
+mutation routes return ``{"epoch", "token", "applied", "fast", "rebuilt",
+"model_retained"}``.  On a static server the mutation routes are ``400``;
+with ``readonly=True`` they are ``403`` (the graph is live but this
+endpoint may not write it).
+
 Error mapping: admission-control overflow
 (:class:`~repro.errors.BudgetExceededError`) is ``429``; any other
-:class:`~repro.errors.ReproError` (bad seeds, bad k) is ``400``; malformed
-JSON is ``400``.  Degraded queries still return ``200`` with
-``"degraded": true`` and the achieved-accuracy report inline.
+:class:`~repro.errors.ReproError` (bad seeds, bad k, malformed deltas) is
+``400``; malformed JSON is ``400``.  Degraded queries still return ``200``
+with ``"degraded": true`` and the achieved-accuracy report inline.
 """
 
 from __future__ import annotations
@@ -26,9 +36,11 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..core.dynamic import Delta
 from ..errors import BudgetExceededError, ReproError
 from ..graph.influence_graph import InfluenceGraph
 from ..obs import inc
+from .dynamic import DynamicModel
 from .service import InfluenceService, QueryResult
 
 __all__ = ["ServeHandler", "make_server", "serve_forever"]
@@ -62,6 +74,8 @@ class ServeHandler(BaseHTTPRequestHandler):
     # Set by make_server on the handler subclass.
     service: InfluenceService
     graph: InfluenceGraph
+    dynamic: "DynamicModel | None" = None
+    readonly: bool = False
 
     protocol_version = "HTTP/1.1"
 
@@ -101,27 +115,54 @@ class ServeHandler(BaseHTTPRequestHandler):
         else:
             self._reply(404, {"error": f"no route {self.path}"})
 
+    def _resolve(self) -> "tuple[int | None, InfluenceGraph]":
+        """The graph to answer on — the live epoch's, or the static one."""
+        if self.dynamic is not None:
+            epoch, graph, _, _ = self.dynamic.resolve()
+            return epoch, graph
+        return None, self.graph
+
+    def _stamp(self, body: dict, epoch: "int | None") -> dict:
+        if epoch is not None:
+            body["epoch"] = epoch
+        return body
+
+    def _mutation_deltas(self, body: dict) -> "list[Delta]":
+        if self.path == "/insert_edge":
+            return [Delta("insert", int(body["u"]), int(body["v"]),
+                          float(body["p"]))]
+        if self.path == "/delete_edge":
+            return [Delta("delete", int(body["u"]), int(body["v"]))]
+        raw = body["deltas"]
+        if not isinstance(raw, list):
+            raise ReproError("'deltas' must be a JSON array")
+        return [Delta.from_json(d) for d in raw]
+
     def do_POST(self) -> None:  # noqa: N802 - http.server's casing
         try:
             body = self._read_body()
             if self.path == "/estimate":
+                epoch, graph = self._resolve()
                 result = self.service.estimate(
-                    self.graph, body["seeds"],
+                    graph, body["seeds"],
                     n_samples=body.get("n_samples"),
                 )
-                self._reply(200, _query_json(result))
+                self._reply(200, self._stamp(_query_json(result), epoch))
             elif self.path == "/estimate_many":
+                epoch, graph = self._resolve()
                 results = self.service.estimate_many(
-                    self.graph, body["seed_sets"],
+                    graph, body["seed_sets"],
                     n_samples=body.get("n_samples"),
                 )
-                self._reply(200, {"results": [_query_json(r) for r in results]})
+                self._reply(200, self._stamp(
+                    {"results": [_query_json(r) for r in results]}, epoch))
             elif self.path == "/maximize":
+                epoch, graph = self._resolve()
                 result = self.service.maximize(
-                    self.graph, int(body["k"]),
+                    graph, int(body["k"]),
                     n_samples=body.get("n_samples"),
                 )
-                self._reply(200, {
+                self._reply(200, self._stamp({
                     "seeds": [int(v) for v in result.seeds],
                     "estimated_influence": result.estimated_influence,
                     "extras": {
@@ -129,11 +170,27 @@ class ServeHandler(BaseHTTPRequestHandler):
                         for key, value in (result.extras or {}).items()
                         if isinstance(value, (int, float, str, bool))
                     },
-                })
+                }, epoch))
+            elif self.path in ("/insert_edge", "/delete_edge",
+                               "/apply_deltas"):
+                if self.dynamic is None:
+                    self._reply(400, {
+                        "error": "this server fronts a static graph; start "
+                                 "with sampler='addressable' to serve a "
+                                 "live one",
+                    })
+                elif self.readonly:
+                    inc("serve.http.readonly_rejected")
+                    self._reply(403, {"error": "server is read-only"})
+                else:
+                    deltas = self._mutation_deltas(body)
+                    self._reply(200, self.dynamic.apply_deltas(deltas))
             else:
                 self._reply(404, {"error": f"no route {self.path}"})
         except KeyError as exc:
             self._reply(400, {"error": f"missing field {exc}"})
+        except (TypeError, ValueError) as exc:
+            self._reply(400, {"error": f"malformed field: {exc}"})
         except BudgetExceededError as exc:
             inc("serve.http.rejected")
             self._reply(429, {"error": str(exc)})
@@ -143,15 +200,22 @@ class ServeHandler(BaseHTTPRequestHandler):
 
 def make_server(service: InfluenceService, graph: InfluenceGraph,
                 host: str = "127.0.0.1",
-                port: int = 0) -> ThreadingHTTPServer:
+                port: int = 0,
+                dynamic: "DynamicModel | None" = None,
+                readonly: bool = False) -> ThreadingHTTPServer:
     """Build (but don't start) the HTTP server.
 
     ``port=0`` binds an ephemeral port; read the actual one from
     ``server.server_address[1]`` — the CLI prints it so scripts (and the CI
     smoke test) can connect without racing.
+
+    Pass ``dynamic`` (from :meth:`InfluenceService.attach_dynamic`) to
+    front a live graph: queries then answer on the current delta-epoch and
+    the mutation routes are enabled (unless ``readonly``).
     """
     handler = type("BoundServeHandler", (ServeHandler,),
-                   {"service": service, "graph": graph})
+                   {"service": service, "graph": graph,
+                    "dynamic": dynamic, "readonly": readonly})
     return ThreadingHTTPServer((host, port), handler)
 
 

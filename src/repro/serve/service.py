@@ -40,6 +40,7 @@ import numpy as np
 
 from ..analysis.bounds import GuaranteeReport, guarantee_report
 from ..core.api import coarsen_influence_graph
+from ..core.dynamic import COIN_DISCIPLINES, coarsen_addressable
 from ..core.frameworks import (
     MaximizationResult,
     estimate_on_coarse,
@@ -73,6 +74,12 @@ class ServiceConfig:
     scc_backend: str = DEFAULT_SCC_BACKEND
     executor: str = "serial"
     workers: "int | None" = None
+    #: Coin discipline for live-edge samples.  "stream" is Algorithm 1's
+    #: sequential sampler; "addressable" uses counter-based per-edge coins
+    #: (:mod:`repro.core.dynamic`), which is what makes live-graph serving
+    #: possible: an incrementally maintained model is bit-for-bit a cold
+    #: rebuild, so epoch versioning reduces to content addressing.
+    sampler: str = "stream"
     # -- sketches ------------------------------------------------------
     model: str = "ic"
     n_samples: int = 10_000
@@ -102,6 +109,13 @@ class ServiceConfig:
             raise ValueError("max_pending must be non-negative")
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ValueError("deadline_seconds must be positive when given")
+        if self.sampler not in COIN_DISCIPLINES:
+            raise ValueError(f"sampler must be one of {COIN_DISCIPLINES}")
+        if self.sampler == "addressable" and self.executor != "serial":
+            raise ValueError(
+                "sampler='addressable' implies executor='serial' (the "
+                "addressable cold path is not parallelised)"
+            )
 
 
 @dataclass
@@ -144,6 +158,7 @@ class InfluenceService:
         )
         self._pools: "dict[ModelKey, SamplePool]" = {}
         self._pool_lock = threading.Lock()
+        self._dynamic: "list" = []  # attached DynamicModel lineages
         self._build_lock = threading.Lock()
         self._dispatch = ThreadPoolExecutor(
             max_workers=self.config.max_workers,
@@ -183,6 +198,7 @@ class InfluenceService:
             graph, r=self.config.r, seed=self.config.seed,
             scc_backend=self.config.scc_backend,
             executor=self.config.executor,
+            sampler=self.config.sampler,
         )
 
     def model_for(self, graph: InfluenceGraph) -> CoarsenResult:
@@ -203,14 +219,20 @@ class InfluenceService:
                 return model
             with span("serve.model.build", n=graph.n, m=graph.m,
                       r=self.config.r):
-                model = coarsen_influence_graph(
-                    graph,
-                    self.config.r,
-                    rng=ensure_rng(self.config.seed),
-                    executor=self.config.executor,
-                    workers=self.config.workers,
-                    scc_backend=self.config.scc_backend,
-                )
+                if self.config.sampler == "addressable":
+                    model = coarsen_addressable(
+                        graph, self.config.r, seed=self.config.seed,
+                        scc_backend=self.config.scc_backend,
+                    )
+                else:
+                    model = coarsen_influence_graph(
+                        graph,
+                        self.config.r,
+                        rng=ensure_rng(self.config.seed),
+                        executor=self.config.executor,
+                        workers=self.config.workers,
+                        scc_backend=self.config.scc_backend,
+                    )
             self.cache.put(key, model)
             return model
 
@@ -221,6 +243,54 @@ class InfluenceService:
         ``warm_dir`` configured.
         """
         return self.cache.store_warm(self.key_for(graph), self.model_for(graph))
+
+    # ------------------------------------------------------------------
+    # Live graphs
+    # ------------------------------------------------------------------
+
+    def attach_dynamic(self, graph: InfluenceGraph):
+        """Attach a live (mutating) lineage rooted at ``graph``.
+
+        Returns a :class:`~repro.serve.dynamic.DynamicModel` whose
+        ``insert_edge`` / ``delete_edge`` / ``apply_deltas`` maintain the
+        cached model incrementally (Algorithm 7) and publish each new
+        delta-epoch into this service's content-addressed cache.  Requires
+        ``sampler="addressable"`` — under stream coins an incrementally
+        maintained model would not match its own cold rebuild, breaking
+        content addressing.
+        """
+        from .dynamic import DynamicModel
+
+        dynamic = DynamicModel(self, graph)
+        self._dynamic.append(dynamic)
+        return dynamic
+
+    def _publish_epoch(self, prev_key: ModelKey, key: ModelKey,
+                       model: CoarsenResult, retained: bool) -> None:
+        """Install a delta-epoch's model and repair its sample pool.
+
+        Copy-on-publish: the previous epoch's cache line and pool are
+        untouched objects — queries that resolved them keep a consistent
+        view.  When the coarse graph survived the delta unchanged
+        (``retained``), the *same* model object is republished under the
+        new key and the pool binding moves with it (prefix reuse keeps
+        working because estimators bind by object identity); otherwise the
+        old pool's prefix is invalidated and a fresh pool is built lazily
+        on the next query.
+        """
+        self.cache.put(key, model)
+        with self._pool_lock:
+            pool = self._pools.get(prev_key)
+            if pool is None:
+                return
+            if retained and pool.graph is model.coarse:
+                if key != prev_key:
+                    self._pools[key] = pool
+                    del self._pools[prev_key]
+                inc("serve.dynamic.pool.retained")
+            else:
+                inc("serve.dynamic.pool.invalidated_prefix", pool.size)
+                del self._pools[prev_key]
 
     def _pool_for(self, key: ModelKey, model: CoarsenResult) -> SamplePool:
         with self._pool_lock:
@@ -433,11 +503,13 @@ class InfluenceService:
                 key.token(): pool.size for key, pool in self._pools.items()
             },
             "queue_depth": self._depth,
+            "dynamic": [dynamic.stats() for dynamic in self._dynamic],
             "config": {
                 "r": self.config.r,
                 "seed": self.config.seed,
                 "scc_backend": self.config.scc_backend,
                 "executor": self.config.executor,
+                "sampler": self.config.sampler,
                 "n_samples": self.config.n_samples,
                 "max_workers": self.config.max_workers,
                 "max_pending": self.config.max_pending,
