@@ -76,7 +76,7 @@ from ..graph.influence_graph import InfluenceGraph
 from ..obs import inc, span
 from ..partition.partition import Partition
 from ..rng import ensure_rng
-from ..scc import DEFAULT_SCC_BACKEND, scc_labels
+from ..scc import DEFAULT_SCC_BACKEND, backend_spec, multi_scc_labels, scc_labels
 from .coarsen import coarsen
 from .result import CoarsenResult, CoarsenStats
 
@@ -174,6 +174,12 @@ class DynamicStats:
     ``r * (insertions + deletions)``.  ``scc_pruned`` is the subset of
     ``scc_skipped`` where the edge *did* materialise but the SCC partition
     was provably unchanged (see the module docstring).
+
+    ``scc_recomputations`` counts *logical* recomputation demands, one per
+    (delta, sample) event; the actual kernel work is deferred to the end
+    of the batch, where each dirty sample is recomputed once — in a single
+    batched :func:`repro.scc.multi_scc_labels` call when the configured
+    backend supports it.
     """
 
     insertions: int = 0
@@ -218,11 +224,24 @@ def coarsen_addressable(
     tails, heads, probs = graph.edge_arrays()
     partition = Partition.trivial(graph.n)
     with span("coarsen_addressable", r=r, n=graph.n, m=graph.m):
-        for i in range(r):
-            keep = edge_coin_uniforms(tails, heads, i, seed) < probs
-            indptr, kept_heads = live_edge_csr_from_mask(graph, keep)
-            labels = scc_labels(indptr, kept_heads, backend=scc_backend)
-            partition = partition.meet(Partition(labels))
+        if backend_spec(scc_backend).supports_batch and r:
+            # Batch-capable backend: draw every sample's coins, then run
+            # ONE multi-sample decomposition over all r masks.  The meet
+            # fold over the label rows is the same sequence of canonical
+            # meets as the per-sample loop, so the result is bit-for-bit
+            # unchanged (the dynamic differential suite pins this).
+            keep = np.empty((r, graph.m), dtype=bool)
+            for i in range(r):
+                keep[i] = edge_coin_uniforms(tails, heads, i, seed) < probs
+            rows = multi_scc_labels(graph.indptr, graph.heads, keep)
+            for i in range(r):
+                partition = partition.meet(Partition(rows[i]))
+        else:
+            for i in range(r):
+                keep = edge_coin_uniforms(tails, heads, i, seed) < probs
+                indptr, kept_heads = live_edge_csr_from_mask(graph, keep)
+                labels = scc_labels(indptr, kept_heads, backend=scc_backend)
+                partition = partition.meet(Partition(labels))
         coarse, pi = coarsen(graph, partition)
     stats = CoarsenStats(
         r=r,
@@ -295,13 +314,20 @@ class DynamicCoarsener:
         # Sample keep-masks as one (r, m) boolean matrix aligned with the
         # edge arrays — a mutation splices every sample in one axis-1 copy.
         self._keep = np.empty((r, graph.m), dtype=bool)
-        self._comps: "list[Partition]" = []
         for i in range(r):
             if coins == "addressable":
                 self._keep[i] = edge_coin_uniforms(tails, heads, i, self.seed) < probs
             else:
                 self._keep[i] = self._rng.random(graph.m) < probs
-            self._comps.append(self._scc_partition(i))
+        self._comps: "list[Partition]"
+        if backend_spec(scc_backend).supports_batch and r:
+            # One batched decomposition over all r masks instead of r
+            # per-sample kernel calls; canonical per-row partitions are
+            # identical either way.
+            rows = multi_scc_labels(self._indptr, self._heads, self._keep)
+            self._comps = [Partition(rows[i]) for i in range(r)]
+        else:
+            self._comps = [self._scc_partition(i) for i in range(r)]
         # Bumped on every applied batch; snapshot()/current_graph() caches
         # are keyed by it.
         self._version = 0
@@ -413,14 +439,28 @@ class DynamicCoarsener:
             frontier = next_frontier
         return False
 
-    def _refresh_component(self, i: int) -> bool:
-        """Recompute sample ``i``'s SCCs; True when the partition changed."""
-        new_comp = self._scc_partition(i)
-        self.stats.scc_recomputations += 1
-        if new_comp != self._comps[i]:
-            self._comps[i] = new_comp
-            return True
-        return False
+    def _refresh_samples(self, dirty: "list[int]") -> bool:
+        """Recompute the SCC partitions of the ``dirty`` samples against the
+        current masks; True when any partition changed.
+
+        Under a batch-capable backend (``"multi"``) all dirty samples go
+        through **one** kernel call on the shared base CSR — this is where
+        a delta-heavy epoch amortises its recomputations.  Canonical
+        partitions are backend-independent, so the maintained state is the
+        same either way.
+        """
+        changed = False
+        if len(dirty) > 1 and backend_spec(self._scc_backend).supports_batch:
+            rows = multi_scc_labels(self._indptr, self._heads,
+                                    self._keep[dirty])
+            fresh = [Partition(rows[j]) for j in range(len(dirty))]
+        else:
+            fresh = [self._scc_partition(i) for i in dirty]
+        for i, new_comp in zip(dirty, fresh):
+            if new_comp != self._comps[i]:
+                self._comps[i] = new_comp
+                changed = True
+        return changed
 
     # ------------------------------------------------------------------
     # Coarse-graph internals
@@ -543,8 +583,8 @@ class DynamicCoarsener:
                 overlay[(u, v)] = False
 
     def _update_sample_after_insert(self, i: int, u: int, v: int) -> bool:
-        """Repair sample ``i`` after a materialised insert; True if its
-        partition changed."""
+        """Assess sample ``i`` after a materialised insert; True when its
+        SCCs need recomputation (the caller defers it to the batch end)."""
         labels = self._comps[i].labels
         if labels[u] == labels[v]:
             # Intra-SCC edge: every new path x ~> u -> v ~> y already
@@ -559,11 +599,12 @@ class DynamicCoarsener:
             self.stats.scc_skipped += 1
             self.stats.scc_pruned += 1
             return False
-        return self._refresh_component(i)
+        self.stats.scc_recomputations += 1
+        return True
 
     def _update_sample_after_delete(self, i: int, u: int, v: int) -> bool:
-        """Repair sample ``i`` after a materialised delete; True if its
-        partition changed."""
+        """Assess sample ``i`` after a materialised delete; True when its
+        SCCs need recomputation (the caller defers it to the batch end)."""
         labels = self._comps[i].labels
         if labels[u] != labels[v]:
             # The edge crossed two SCCs, so it lay on no cycle; removing
@@ -571,17 +612,20 @@ class DynamicCoarsener:
             self.stats.scc_skipped += 1
             self.stats.scc_pruned += 1
             return False
-        return self._refresh_component(i)
+        self.stats.scc_recomputations += 1
+        return True
 
     def apply_deltas(self, deltas: "Sequence[Delta] | Iterable[Delta]") -> dict:
         """Apply a batch of edge mutations (Algorithm 7, batched).
 
-        The batch is validated up front (all-or-nothing), per-sample SCC
-        repairs run per materialised delta (with the pruning described in
-        the module docstring), and the partition/bundle state is repaired
-        **once** at the end: a single ``_rebuild_from_components`` if any
-        sample's partition changed, else one exact recompute per touched
-        coarse bundle.
+        The batch is validated up front (all-or-nothing), pruning checks
+        run per materialised delta (see the module docstring), and all the
+        SCC recomputations the checks could not prune are deferred and run
+        **once** against the final masks — one batched multi-sample kernel
+        call when the backend supports it.  The partition/bundle state is
+        likewise repaired once at the end: a single
+        ``_rebuild_from_components`` if any sample's partition changed,
+        else one exact recompute per touched coarse bundle.
 
         Returns a summary dict ``{"applied", "fast", "rebuilt",
         "coarse_changed"}`` — ``coarse_changed`` is False exactly when the
@@ -594,7 +638,15 @@ class DynamicCoarsener:
             return {"applied": 0, "fast": 0, "rebuilt": False,
                     "coarse_changed": False}
         self._validate_deltas(deltas)
-        changed = False
+        # Samples whose pruning checks failed: their SCCs are recomputed
+        # ONCE, against the final masks, after the whole batch has been
+        # spliced (one batched kernel call under a batch-capable backend).
+        # Deferral is exact — pruned deltas provably leave a sample's
+        # partition unchanged, so a never-dirty sample's labels stay the
+        # true SCCs of its current mask throughout the loop, and a dirty
+        # sample skips further checks (its labels are stale) and heads
+        # straight to the batched recomputation.
+        dirty: "dict[int, None]" = {}
         touched: "dict[tuple[int, int], None]" = {}
         for d in deltas:
             u, v = int(d.u), int(d.v)
@@ -607,9 +659,10 @@ class DynamicCoarsener:
                 for i in range(self.r):
                     if not hits[i]:
                         self.stats.scc_skipped += 1
-                        continue
-                    if self._update_sample_after_insert(i, u, v):
-                        changed = True
+                    elif i in dirty:
+                        self.stats.scc_recomputations += 1
+                    elif self._update_sample_after_insert(i, u, v):
+                        dirty[i] = None
             else:
                 self.stats.deletions += 1
                 pos, _ = self._find(u, v)
@@ -618,10 +671,12 @@ class DynamicCoarsener:
                 for i in range(self.r):
                     if not kept[i]:
                         self.stats.scc_skipped += 1
-                        continue
-                    if self._update_sample_after_delete(i, u, v):
-                        changed = True
+                    elif i in dirty:
+                        self.stats.scc_recomputations += 1
+                    elif self._update_sample_after_delete(i, u, v):
+                        dirty[i] = None
             touched[(int(self._pi[u]), int(self._pi[v]))] = None
+        changed = self._refresh_samples(list(dirty)) if dirty else False
         coarse_changed = False
         if changed:
             self.stats.full_rebuilds += 1

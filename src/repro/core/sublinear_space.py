@@ -37,7 +37,7 @@ from ..obs import (
 )
 from ..partition.partition import Partition
 from ..rng import ensure_rng
-from ..scc import SCC_BACKENDS, scc_labels
+from ..scc import backend_spec, scc_labels
 from ..scc.semi_external import semi_external_scc_labels
 from ..storage.triplet_store import DEFAULT_CHUNK_EDGES, PairStore, TripletStore
 from .result import CoarsenResult, CoarsenStats
@@ -110,11 +110,9 @@ def coarsen_influence_graph_sublinear(
     """
     if r < 0:
         raise CoarseningError("r must be non-negative")
-    if scc_backend != "semi-external" and scc_backend not in SCC_BACKENDS:
-        raise CoarseningError(
-            f"unknown SCC backend {scc_backend!r}; choose 'semi-external' "
-            f"or one of {SCC_BACKENDS}"
-        )
+    # One validation point for every dispatch surface: a misspelling gets
+    # the registry's full menu (streaming backends included) up front.
+    backend_spec(scc_backend)
     rng = ensure_rng(rng)
     out_path = os.fspath(out_path)
     if work_dir is None:

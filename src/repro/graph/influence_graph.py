@@ -238,6 +238,20 @@ class InfluenceGraph:
             self._digest = h.hexdigest()
         return self._digest
 
+    def _install_digest(self, digest: str) -> None:
+        """Install an externally derived digest into the lazy cache slot.
+
+        Library-internal: the serve layer's live-graph lineage addresses
+        delta-epochs by a *chained* digest (parent digest + canonical
+        delta encoding) so each epoch key costs O(|deltas|) instead of the
+        O(n + m) content hash.  The caller owns the equivalence argument;
+        a digest that has already been computed (or installed) is never
+        overwritten — the first value wins, keeping every holder of this
+        immutable graph consistent.
+        """
+        if self._digest is None:
+            self._digest = digest
+
     # ------------------------------------------------------------------
     # Derived graphs
     # ------------------------------------------------------------------

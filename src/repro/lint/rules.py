@@ -14,7 +14,9 @@ DESIGN.md for the promises being enforced):
   sort keys).
 * RL004 — array allocations in the SCC kernels and the coarsening core
   always pin an explicit ``dtype=`` (the int32/int64 discipline of the
-  FW-BW kernel).
+  FW-BW kernel), and any SCC module selecting ``np.int32`` derives its
+  overflow bound from ``np.iinfo(np.int32)`` (the size gate the batched
+  union kernel depends on).
 * RL005 — durations come from monotonic clocks (``perf_counter`` or obs
   spans), never ``time.time()``.
 * RL006 — no bare ``except:`` and no silently swallowed ``except
@@ -380,27 +382,64 @@ class DtypeDiscipline(Rule):
     )
 
     SCOPES = ("scc/", "core/")
+    #: The int32-gate sub-check applies to the SCC kernels only: that is
+    #: where narrow indices buy bandwidth and where an ungated int32 can
+    #: silently overflow on a large (or batched-union) domain.
+    GATE_SCOPES = ("scc/",)
     ALLOCATORS = frozenset({"empty", "zeros", "ones", "full", "arange"})
 
     def applies(self, ctx: FileContext) -> bool:
         return ctx.package_rel.startswith(self.SCOPES)
 
+    @staticmethod
+    def _is_np_int32(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "int32"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy")
+        )
+
     def check(self, ctx: FileContext) -> Iterator[Violation]:
+        int32_uses: "list[ast.AST]" = []
+        gated = False
         for node in ast.walk(ctx.tree):
             if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                if self._is_np_int32(node):
+                    int32_uses.append(node)
                 continue
             func = node.func
             if not (
                 isinstance(func.value, ast.Name)
                 and func.value.id in ("np", "numpy")
-                and func.attr in self.ALLOCATORS
             ):
                 continue
-            if not any(kw.arg == "dtype" for kw in node.keywords):
+            if func.attr == "iinfo" and any(
+                self._is_np_int32(arg) for arg in node.args
+            ):
+                gated = True
+            if func.attr in self.ALLOCATORS and not any(
+                kw.arg == "dtype" for kw in node.keywords
+            ):
                 yield self.hit(
                     ctx, node,
                     f"np.{func.attr}(...) without an explicit dtype= in a "
                     f"kernel module; pin the dtype",
+                )
+        # int32 indices are a *size-gated* optimisation: any kernel module
+        # that selects np.int32 must also derive its overflow bound from
+        # np.iinfo(np.int32) (the fwbw/multi discipline) — a hard-coded or
+        # missing bound silently corrupts labels past 2**31 elements.
+        if ctx.package_rel.startswith(self.GATE_SCOPES) and not gated:
+            # iinfo(np.int32) arguments are themselves np.int32 attribute
+            # nodes, but ``gated`` is False here, so none of these uses
+            # came from the gate expression.
+            for use in int32_uses[:1]:
+                yield self.hit(
+                    ctx, use,
+                    "np.int32 selected without an np.iinfo(np.int32) size "
+                    "gate in this module; derive the overflow bound before "
+                    "narrowing indices",
                 )
 
 

@@ -26,7 +26,10 @@ ideal for an array runtime because every step is a whole-frontier operation:
 
 The explicit work queue of the classic recursion is the ``part`` label
 array: every active part is an outstanding work item, and one pass of the
-round loop services all of them at once.
+round loop services all of them at once.  The whole-frontier primitives
+(gather, scratch dedup, trim peel, coloring round) live in the shared
+:mod:`repro.scc._frontier` module; :mod:`repro.scc.multi` drives the same
+moves over the disjoint union of all ``r`` live-edge rounds at once.
 
 Pure FW-BW degenerates when a graph decomposes into *many* small SCCs (the
 reciprocal-edge clusters of social-network samples): each round only peels a
@@ -65,6 +68,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ._frontier import (
+    bucket_ids,
+    color_round,
+    csr_of,
+    frontier_bfs,
+    resolve,
+    trim_peel,
+)
+
 __all__ = ["fwbw_scc_labels", "FwbwStats"]
 
 # Switch from pivot rounds to coloring rounds once the decomposition has
@@ -88,71 +100,6 @@ class FwbwStats:
     masked_edges: int = 0  # live edges dropped by block-restricted retirement
     retired_vertices: int = 0  # vertices finalised by retirement
     frozen_vertices: int = 0  # singleton-block vertices in the restriction
-
-
-def _gather(indptr: np.ndarray, heads: np.ndarray, verts: np.ndarray) -> np.ndarray:
-    """All CSR neighbours of ``verts``, concatenated (duplicates included)."""
-    counts = indptr[verts + 1] - indptr[verts]
-    nz = counts > 0
-    if not nz.all():
-        verts, counts = verts[nz], counts[nz]
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=heads.dtype)
-    ends = np.cumsum(counts)
-    offsets = np.repeat(indptr[verts] - (ends - counts), counts)
-    return heads[np.arange(total, dtype=counts.dtype) + offsets]
-
-
-def _csr_of(tails: np.ndarray, heads: np.ndarray, n: int,
-            dtype=np.int64) -> np.ndarray:
-    """``indptr`` for an edge list already sorted by tail."""
-    indptr = np.zeros(n + 1, dtype=dtype)
-    indptr[1:] = np.cumsum(np.bincount(tails, minlength=n))
-    return indptr
-
-
-def _dedup(verts: np.ndarray, scratch: np.ndarray) -> np.ndarray:
-    """Distinct values of ``verts`` via a scratch write-then-readback pass —
-    O(len) with no sort or hash, the frontier dedup the BFS lives on."""
-    pos = np.arange(verts.size, dtype=scratch.dtype)
-    scratch[verts] = pos
-    return verts[scratch[verts] == pos]
-
-
-def _bucket_ids(values: np.ndarray, domain: int) -> "tuple[np.ndarray, int]":
-    """Dense ids (arbitrary but consistent order) for ``values`` < domain."""
-    mark = np.zeros(domain, dtype=np.int64)
-    mark[values] = 1
-    dense = np.cumsum(mark) - 1
-    return dense[values], int(dense[-1]) + 1 if values.size else 0
-
-
-def _frontier_bfs(
-    indptr: np.ndarray,
-    heads: np.ndarray,
-    seeds: np.ndarray,
-    part: np.ndarray,
-    scratch: np.ndarray,
-    stats: FwbwStats,
-) -> np.ndarray:
-    """Reachability from ``seeds`` over live edges, never through decided
-    vertices (``part < 0``) — trimmed vertices still sit in the CSR arrays
-    but are not legal path interior for the induced-subgraph semantics."""
-    reach = np.zeros(part.size, dtype=bool)
-    reach[seeds] = True
-    frontier = seeds
-    while frontier.size:
-        stats.bfs_passes += 1
-        nbrs = _gather(indptr, heads, frontier)
-        if nbrs.size == 0:
-            break
-        nbrs = nbrs[~reach[nbrs] & (part[nbrs] >= 0)]
-        if nbrs.size == 0:
-            break
-        frontier = _dedup(nbrs, scratch)
-        reach[frontier] = True
-    return reach
 
 
 def fwbw_scc_labels(
@@ -227,7 +174,7 @@ def fwbw_scc_labels(
         stats.frozen_vertices = int(frozen.sum())
 
     cur_n = n
-    ids = np.arange(n, dtype=np.int64)  # compact-domain vertex -> original
+    ids = None  # compact-domain vertex -> original; None = identity
     part = np.zeros(n, dtype=idx)  # active part id; -1 once decided
     scratch = np.empty(n, dtype=idx)  # dedup workspace, reused all run
     n_comp = 0
@@ -238,9 +185,11 @@ def fwbw_scc_labels(
         # are undecided and in the same part.  The lists only ever shrink.
         # (Round one is a no-op — everything starts live in part 0.)
         if stats.rounds:
-            live = (part[ft] >= 0) & (part[ft] == part[fh])
+            pf, ph = part[ft], part[fh]
+            live = (pf >= 0) & (pf == ph)
             ft, fh = ft[live], fh[live]
-            rlive = (part[rh] >= 0) & (part[rh] == part[rt])
+            pf, ph = part[rt], part[rh]
+            rlive = (ph >= 0) & (ph == pf)
             rt, rh = rt[rlive], rh[rlive]
 
         active = np.flatnonzero(part >= 0)
@@ -255,7 +204,7 @@ def fwbw_scc_labels(
             old2new[active] = np.arange(active.size, dtype=idx)
             ft, fh = old2new[ft], old2new[fh]
             rt, rh = old2new[rt], old2new[rh]
-            ids = ids[active]
+            ids = resolve(ids, active)
             part = part[active]
             if frozen is not None:
                 frozen = frozen[active]
@@ -267,27 +216,12 @@ def fwbw_scc_labels(
         stats.rounds += 1
         stats.processed_edges += int(ft.size)
 
-        fip = _csr_of(ft, fh, cur_n, dtype=idx)
-        rip = _csr_of(rt, rh, cur_n, dtype=idx)
+        fip = csr_of(ft, fh, cur_n, dtype=idx)
+        rip = csr_of(rt, rh, cur_n, dtype=idx)
 
         # ---- trim: frontier peel of zero-in/out-degree vertices ----------
-        outdeg = np.diff(fip)
-        indeg = np.diff(rip)
-        wave = active[(outdeg[active] == 0) | (indeg[active] == 0)]
-        while wave.size:
-            stats.trim_waves += 1
-            comp[ids[wave]] = n_comp + np.arange(wave.size, dtype=np.int64)
-            n_comp += wave.size
-            part[wave] = -1
-            out_nbrs = _gather(fip, fh, wave)
-            in_nbrs = _gather(rip, rh, wave)
-            np.subtract.at(indeg, out_nbrs, 1)
-            np.subtract.at(outdeg, in_nbrs, 1)
-            cand = np.concatenate((out_nbrs, in_nbrs))
-            cand = cand[part[cand] >= 0]
-            if cand.size:
-                cand = _dedup(cand, scratch)
-            wave = cand[(outdeg[cand] == 0) | (indeg[cand] == 0)]
+        n_comp = trim_peel(fip, fh, rip, rh, part, comp, ids, active, n_comp,
+                           scratch, stats)
         active = np.flatnonzero(part >= 0)
         if active.size == 0:
             break
@@ -313,8 +247,9 @@ def fwbw_scc_labels(
                 flag[retire] = True
                 stats.masked_edges += int((flag[ft] & (part[fh] >= 0)).sum())
                 stats.retired_vertices += int(retire.size)
-                comp[ids[retire]] = n_comp + np.arange(retire.size,
-                                                       dtype=np.int64)
+                comp[resolve(ids, retire)] = n_comp + np.arange(
+                    retire.size, dtype=np.int64
+                )
                 n_comp += retire.size
                 part[retire] = -1
                 active = np.flatnonzero(part >= 0)
@@ -322,7 +257,7 @@ def fwbw_scc_labels(
                     break
 
         if n_parts >= _COLOR_PARTS or stats.rounds > _COLOR_ROUNDS:
-            n_comp, n_parts = _color_round(
+            n_comp, n_parts = color_round(
                 cur_n, ft, fh, rt, rh, part, comp, ids, n_comp, scratch, stats
             )
             continue
@@ -338,15 +273,15 @@ def fwbw_scc_labels(
         pivots = pivot_of[pivot_of >= 0]
 
         # ---- forward/backward multi-source frontier BFS ------------------
-        reach_f = _frontier_bfs(fip, fh, pivots, part, scratch, stats)
-        reach_b = _frontier_bfs(rip, rh, pivots, part, scratch, stats)
+        reach_f = frontier_bfs(fip, fh, pivots, part, scratch, stats)
+        reach_b = frontier_bfs(rip, rh, pivots, part, scratch, stats)
 
         # ---- finalise every pivot's SCC (F ∩ B, per part) ----------------
         in_scc = np.zeros(cur_n, dtype=bool)
         in_scc[active] = reach_f[active] & reach_b[active]
         members = np.flatnonzero(in_scc)
-        new_id, n_new = _bucket_ids(part[members], n_parts)
-        comp[ids[members]] = n_comp + new_id
+        new_id, n_new = bucket_ids(part[members], n_parts)
+        comp[resolve(ids, members)] = n_comp + new_id
         n_comp += n_new
         part[members] = -1
 
@@ -356,7 +291,7 @@ def fwbw_scc_labels(
             state = np.where(
                 reach_f[remaining], 1, np.where(reach_b[remaining], 2, 0)
             ).astype(np.int64)
-            new_part, n_parts = _bucket_ids(
+            new_part, n_parts = bucket_ids(
                 part[remaining].astype(np.int64) * 3 + state, 3 * n_parts
             )
             part[remaining] = new_part
@@ -364,69 +299,3 @@ def fwbw_scc_labels(
             n_parts = 0
 
     return (comp, stats) if return_stats else comp
-
-
-def _color_round(
-    n: int,
-    ft: np.ndarray,
-    fh: np.ndarray,
-    rt: np.ndarray,
-    rh: np.ndarray,
-    part: np.ndarray,
-    comp: np.ndarray,
-    ids: np.ndarray,
-    n_comp: int,
-    scratch: np.ndarray,
-    stats: FwbwStats,
-) -> "tuple[int, int]":
-    """One coloring round: resolve every color root's SCC simultaneously.
-
-    Forward max-id propagation runs to fixpoint pull-style — each pass is a
-    single segmented ``np.maximum.reduceat`` over the reverse CSR.  A vertex
-    that keeps its own id is a *root*; a backward BFS from all roots over
-    same-color edges collects each root's SCC exactly (any vertex that
-    reaches its color root is also reached by it, by color maximality).
-    Returns the updated ``(n_comp, n_parts)``.
-    """
-    # Trim/retirement may have decided vertices since the round's edge
-    # refresh; drop their edges before propagating.
-    live = (part[ft] >= 0) & (part[fh] >= 0)
-    ft, fh = ft[live], fh[live]
-    rlive = (part[rt] >= 0) & (part[rh] >= 0)
-    rt, rh = rt[rlive], rh[rlive]
-
-    color = np.arange(n, dtype=part.dtype)
-    rip = _csr_of(rt, rh, n, dtype=part.dtype)
-    nzv = np.flatnonzero(np.diff(rip) > 0)  # vertices with live in-edges
-    starts = rip[nzv]
-    while nzv.size:
-        stats.color_passes += 1
-        seg_max = np.maximum.reduceat(color[rh], starts)
-        upd = seg_max > color[nzv]
-        if not upd.any():
-            break
-        color[nzv[upd]] = seg_max[upd]
-
-    active = np.flatnonzero(part >= 0)
-    roots = active[color[active] == active]
-
-    # Backward BFS from all roots along same-color edges = each root's SCC.
-    same = color[rt] == color[rh]
-    rt2, rh2 = rt[same], rh[same]
-    reach = _frontier_bfs(_csr_of(rt2, rh2, n, dtype=part.dtype), rh2, roots,
-                          part, scratch, stats)
-    members = np.flatnonzero(reach)
-    new_id, n_new = _bucket_ids(color[members], n)
-    comp[ids[members]] = n_comp + new_id
-    n_comp += n_new
-    part[members] = -1
-
-    # Remainders regroup by color class (color classes never straddle
-    # parts, and SCCs never straddle color classes).
-    remaining = np.flatnonzero(part >= 0)
-    if remaining.size:
-        new_part, n_parts = _bucket_ids(color[remaining], n)
-        part[remaining] = new_part
-    else:
-        n_parts = 0
-    return n_comp, n_parts

@@ -1,0 +1,406 @@
+"""Batched multi-sample FW-BW: all ``r`` live-edge rounds in one pass.
+
+Coarsening (Algorithm 1) computes ``r`` SCC decompositions of near-identical
+live-edge subgraphs of one base graph.  Run per sample, each decomposition
+pays the same fixed costs — CSR materialisation, hundreds of tiny cleanup
+rounds, per-call numpy dispatch — on a problem far smaller than the
+machine's vector appetite.  This kernel instead runs **one** decomposition
+over the disjoint union of all ``r`` masked copies of the base graph:
+
+* **flat domain** — vertex ``v`` of round ``i`` becomes ``i * n + v``.  The
+  ``(r, m)`` keep-mask matrix turns into flat edge lists with a single
+  row-major ``np.nonzero`` — already sorted by (round, CSR position), so
+  the union's forward CSR needs no sort at all and the whole run performs
+  exactly one ``argsort`` (the reverse orientation), same as one
+  :mod:`~repro.scc.fwbw` call on one sample;
+* **rounds never interact** — the union graph is ``r`` disconnected
+  copies, so its SCCs are *exactly* the per-round SCCs, and every
+  whole-frontier move (trim peel, multi-source BFS, coloring round)
+  serves every still-active round per adjacency scan.  The ``part``
+  array starts as the round index, so parts never straddle rounds and
+  the first pivot sweep advances all rounds simultaneously;
+* **per-round early retirement** — a round whose copies are all decided
+  simply vanishes at the next domain compaction; the shared frontier,
+  label and scratch buffers shrink to the surviving rounds.  The
+  ``scc.multi.*`` counters report batch occupancy and retirement.
+
+Equivalence: per-round labels are the union's global component ids
+restricted to that round's copies — a bijective relabelling of the
+per-sample kernel's output, so
+:class:`repro.partition.Partition` canonicalisation makes the r-robust
+meet fold **bit-for-bit identical** to the per-sample path (the
+differential suite pins this, including the coarse graph digest).
+
+Block-restricted refinement (``block_labels``) tiles the running
+partition across the copies.  Retirement uses the same sound rule as
+:mod:`~repro.scc.fwbw` — a part retires when no surviving block has two
+non-frozen vertices inside it — and because parts never straddle rounds,
+the union rule is exactly the per-round rule.  Callers fold rounds in
+chunks (:func:`multi_chunk_cap` rounds, wider on smaller graphs) so later
+chunks see the meet of earlier ones, trading batch width for pruning
+depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import inc, span
+from ._frontier import (
+    bucket_ids,
+    color_round,
+    csr_of,
+    frontier_bfs,
+    resolve,
+    trim_peel,
+)
+
+__all__ = [
+    "multi_scc_labels",
+    "multi_chunk_cap",
+    "MultiStats",
+    "MULTI_REFINE_CHUNK",
+]
+
+# Same phase thresholds as fwbw, with the part threshold scaled by the
+# number of still-live rounds so per-round pacing matches the per-sample
+# kernel (r fresh rounds start with r parts, not one).
+_COLOR_PARTS = 32
+_COLOR_ROUNDS = 3
+
+#: Minimum rounds per kernel call when a caller folds the batch into a
+#: running partition.  Refining folds refresh the block restriction
+#: between chunks; full folds use the chunk boundary to take the same
+#: finest-partition early exit as the per-sample loop.  Both extremes are
+#: exact; 4 keeps most of the amortisation while checking the fold state
+#: often enough to stop (or prune) early.
+MULTI_REFINE_CHUNK = 4
+
+# Union-edge budget for one fold chunk.  Chunk width trades amortisation
+# (fewer kernel setups, whole-frontier moves shared by more rounds)
+# against cache locality and fold-state checks: past roughly this many
+# union edges the wider domain stops fitting hot caches and misaligned
+# trim/BFS waves across rounds start to dominate.  Measured knee on the
+# ablation tiers; see docs/performance.md.
+_CHUNK_EDGE_BUDGET = 48_000
+
+
+def multi_chunk_cap(m: int) -> int:
+    """Fold-chunk width (rounds per kernel call) for a base graph of ``m``
+    edges.
+
+    Small graphs are exactly where batching pays — per-call fixed costs
+    dominate and the union still fits in cache — so the cap grows as the
+    graph shrinks: ``max(MULTI_REFINE_CHUNK, _CHUNK_EDGE_BUDGET // m)``.
+    Chunking never changes results (the fold is exact at any width; the
+    differential suite pins bit-for-bit equality), only the speed and how
+    often the fold can early-exit or refresh its block restriction.
+    """
+    return max(MULTI_REFINE_CHUNK, _CHUNK_EDGE_BUDGET // max(m, 1))
+
+
+@dataclass
+class MultiStats:
+    """Work counters for one batched run (observability + regression tests).
+
+    ``occupancy`` sums the number of still-live sample rounds entering each
+    kernel round — ``occupancy / (rounds * samples)`` is the mean batch
+    occupancy, the amortisation the kernel exists for.  ``retired_rounds``
+    counts sample rounds that became fully decided before the final kernel
+    round (early retirement); ``compactions`` counts domain compactions
+    (shared-buffer reallocations), so ``rounds - compactions`` kernel
+    rounds reused the frontier/scratch buffers as-is.
+    """
+
+    samples: int = 0
+    rounds: int = 0
+    bfs_passes: int = 0
+    color_passes: int = 0
+    trim_waves: int = 0
+    processed_edges: int = 0  # live union edges entering each round, summed
+    masked_edges: int = 0  # union edges dropped by block-restricted retirement
+    retired_vertices: int = 0  # vertex copies finalised by retirement
+    frozen_vertices: int = 0  # frozen copies (singleton blocks × samples)
+    occupancy: int = 0  # live sample rounds entering each kernel round, summed
+    retired_rounds: int = 0  # sample rounds fully decided before the last round
+    compactions: int = 0  # shared-buffer reallocations (domain compactions)
+
+
+def multi_scc_labels(
+    indptr: np.ndarray,
+    heads: np.ndarray,
+    keep: np.ndarray,
+    block_labels: "np.ndarray | None" = None,
+    return_stats: bool = False,
+):
+    """SCC labels of every masked copy of a CSR digraph, in one pass.
+
+    Parameters
+    ----------
+    indptr, heads:
+        CSR adjacency of the base directed graph on ``len(indptr) - 1``
+        vertices.
+    keep:
+        ``(r, m)`` boolean matrix; row ``i`` selects the live edges of
+        sample round ``i`` (CSR edge order, exactly the mask produced by
+        :func:`repro.diffusion.live_edge.sample_live_edge_mask` or
+        maintained by :class:`repro.core.dynamic.DynamicCoarsener`).
+    block_labels:
+        Optional label array of the running r-robust partition, applied to
+        **every** round of the batch (see the module docstring).  As with
+        the per-sample kernel, only the meet ``block_labels ∧ row`` is
+        meaningful per row in this mode.
+    return_stats:
+        Also return a :class:`MultiStats`.
+
+    Returns
+    -------
+    numpy.ndarray (and optionally :class:`MultiStats`)
+        ``(r, n)`` ``int64`` label matrix; row ``i`` labels the SCCs of
+        sample ``i``.  Labels are globally unique across rounds and
+        otherwise implementation-defined — canonicalise each row via
+        :class:`repro.partition.Partition` before comparing across
+        backends.
+    """
+    n = int(indptr.size) - 1
+    keep = np.ascontiguousarray(keep, dtype=bool)
+    if keep.ndim != 2:
+        raise ValueError("keep must be an (r, m) boolean matrix")
+    r = int(keep.shape[0])
+    if keep.shape[1] != int(heads.size):
+        raise ValueError("keep must have one column per CSR edge")
+    stats = MultiStats(samples=r)
+    if n <= 0 or r == 0:
+        labels = np.full((r, max(n, 0)), -1, dtype=np.int64)
+        return (labels, stats) if return_stats else labels
+
+    with span("scc_multi", samples=r, n=n, m=int(heads.size)):
+        comp = _decompose_union(indptr, heads, keep, block_labels, stats)
+    inc("scc.multi.runs")
+    inc("scc.multi.samples", r)
+    inc("scc.multi.rounds", stats.rounds)
+    inc("scc.multi.occupancy", stats.occupancy)
+    if stats.retired_rounds:
+        inc("scc.multi.retired_rounds", stats.retired_rounds)
+    if stats.rounds > stats.compactions:
+        inc("scc.multi.buffer_reuse", stats.rounds - stats.compactions)
+    if stats.frozen_vertices:
+        inc("scc.frozen_vertices", stats.frozen_vertices)
+    if stats.masked_edges:
+        inc("scc.masked_edges", stats.masked_edges)
+    labels = comp.reshape(r, n)
+    return (labels, stats) if return_stats else labels
+
+
+def _decompose_union(
+    indptr: np.ndarray,
+    heads: np.ndarray,
+    keep: np.ndarray,
+    block_labels: "np.ndarray | None",
+    stats: MultiStats,
+) -> np.ndarray:
+    """FW-BW over the disjoint union of the masked copies (flat labels)."""
+    n = int(indptr.size) - 1
+    r = int(keep.shape[0])
+    big_n = r * n
+    total_kept = int(np.count_nonzero(keep))
+    # The same size-gated index discipline as fwbw, applied to the *union*
+    # sizes: a batch of small samples routinely crosses the 32-bit win
+    # threshold that each sample alone would miss.
+    imax = np.iinfo(np.int32).max
+    use32 = big_n + total_kept >= 256_000 and big_n < imax and total_kept < imax
+    idx = np.int32 if use32 else np.int64
+
+    indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+    base_tails = np.repeat(np.arange(n, dtype=idx), np.diff(indptr))
+    base_heads = np.ascontiguousarray(heads, dtype=idx)
+
+    # Row-major nonzero: flat edges arrive sorted by (round, CSR position)
+    # = sorted by flat tail — the union's forward CSR order, for free.
+    ri, ei = np.nonzero(keep)
+    t, h = base_tails[ei], base_heads[ei]
+    loop = t != h  # self-loops never affect SCC membership
+    if not loop.all():
+        ri, t, h = ri[loop], t[loop], h[loop]
+    # Flat ids stay in the gated index dtype end to end: ri * n < big_n by
+    # construction, so the narrow offset cannot overflow.
+    offset = ri.astype(idx, copy=False)
+    offset *= n
+    ft = offset + t
+    fh = offset + h
+    del ri, ei, t, h, offset
+    # Reverse orientation — the only sort of the whole batched run.
+    order = np.argsort(fh)
+    rt, rh = fh[order], ft[order]
+    del order
+
+    frozen = None
+    blocks = None
+    block_stride = 0
+    if block_labels is not None:
+        block_labels = np.ascontiguousarray(block_labels, dtype=np.int64)
+        if block_labels.size != n:
+            raise ValueError("block_labels must have one entry per vertex")
+        sizes = np.bincount(block_labels)
+        frozen_base = sizes[block_labels] == 1
+        frozen = np.tile(frozen_base, r)
+        blocks = np.tile(block_labels, r)
+        block_stride = int(block_labels.max()) + 1
+        stats.frozen_vertices = int(frozen_base.sum()) * r
+
+    # Component ids live in the gated dtype too (they are < big_n); the
+    # output contract stays int64 via one astype on return.
+    comp = np.full(big_n, -1, dtype=idx)
+    cur_n = big_n
+    ids = None  # compact-domain vertex -> flat; None = identity
+    # One part per round: parts only ever split, so no part straddles two
+    # rounds and the first pivot sweep already runs one BFS source per
+    # still-undecided round.
+    part = np.repeat(np.arange(r, dtype=idx), n)
+    scratch = np.empty(big_n, dtype=idx)
+    n_comp = 0
+    n_parts = r
+    prev_live = r
+
+    while True:
+        # Refresh the live edge lists: an edge survives while both endpoints
+        # are undecided and in the same part.  The lists only ever shrink.
+        # (Round one is a no-op — every round starts live in its own part.)
+        if stats.rounds:
+            pf, ph = part[ft], part[fh]
+            live = (pf >= 0) & (pf == ph)
+            ft, fh = ft[live], fh[live]
+            pf, ph = part[rt], part[rh]
+            rlive = (ph >= 0) & (ph == pf)
+            rt, rh = rt[rlive], rh[rlive]
+            active = np.flatnonzero(part >= 0)
+            if active.size == 0:
+                break
+        else:
+            active = np.arange(big_n, dtype=np.int64)
+
+        # ---- domain compaction -------------------------------------------
+        # Monotone renumbering over the sorted ``active`` keeps both edge
+        # lists CSR-ordered; fully-decided rounds vanish here, shrinking
+        # every shared buffer to the surviving rounds.
+        if active.size * 2 < cur_n:
+            old2new = scratch  # safe: fully rewritten before next dedup use
+            old2new[active] = np.arange(active.size, dtype=idx)
+            ft, fh = old2new[ft], old2new[fh]
+            rt, rh = old2new[rt], old2new[rh]
+            ids = resolve(ids, active)
+            part = part[active]
+            if frozen is not None:
+                frozen = frozen[active]
+                blocks = blocks[active]
+            cur_n = active.size
+            scratch = np.empty(cur_n, dtype=idx)
+            active = np.arange(cur_n, dtype=np.int64)
+            stats.compactions += 1
+
+        # Batch occupancy: how many sample rounds are still live this round.
+        # ``ids`` is ascending (compaction preserves order), so the per-round
+        # segments fall out of one searchsorted over the round boundaries;
+        # a fully-live identity domain (round one) is trivially all rounds.
+        if ids is None and active.size == cur_n:
+            live_rounds = r
+        else:
+            flat_active = resolve(ids, active)
+            bounds = np.searchsorted(flat_active,
+                                     np.arange(1, r, dtype=np.int64) * n)
+            segments = np.diff(np.concatenate(
+                ([0], bounds, [flat_active.size])
+            ))
+            live_rounds = int(np.count_nonzero(segments))
+        stats.occupancy += live_rounds
+        if live_rounds < prev_live:
+            stats.retired_rounds += prev_live - live_rounds
+            prev_live = live_rounds
+
+        stats.rounds += 1
+        stats.processed_edges += int(ft.size)
+
+        fip = csr_of(ft, fh, cur_n, dtype=idx)
+        rip = csr_of(rt, rh, cur_n, dtype=idx)
+
+        # ---- trim: frontier peel of zero-in/out-degree vertices ----------
+        n_comp = trim_peel(fip, fh, rip, rh, part, comp, ids, active, n_comp,
+                           scratch, stats)
+        active = np.flatnonzero(part >= 0)
+        if active.size == 0:
+            break
+
+        # ---- block-restricted retirement ---------------------------------
+        # Same sound rule and same cost gate as fwbw; parts never straddle
+        # rounds, so the union-level scan is exactly the per-round scan.
+        if frozen is not None and (
+            (nonfrozen := active[~frozen[active]]).size * 2 <= active.size
+        ):
+            if nonfrozen.size:
+                key = (part[nonfrozen].astype(np.int64) * block_stride
+                       + blocks[nonfrozen])
+                uniq, counts = np.unique(key, return_counts=True)
+                good = np.unique(uniq[counts >= 2] // block_stride)
+            else:
+                good = np.empty(0, dtype=np.int64)
+            retire = active[~np.isin(part[active], good)]
+            if retire.size:
+                flag = np.zeros(cur_n, dtype=bool)
+                flag[retire] = True
+                stats.masked_edges += int((flag[ft] & (part[fh] >= 0)).sum())
+                stats.retired_vertices += int(retire.size)
+                comp[resolve(ids, retire)] = n_comp + np.arange(
+                    retire.size, dtype=np.int64
+                )
+                n_comp += int(retire.size)
+                part[retire] = -1
+                active = np.flatnonzero(part >= 0)
+                if active.size == 0:
+                    break
+
+        # Phase switch scaled by live rounds so each round's pacing matches
+        # a per-sample fwbw run of the same depth.
+        if (n_parts >= _COLOR_PARTS * max(live_rounds, 1)
+                or stats.rounds > _COLOR_ROUNDS):
+            n_comp, n_parts = color_round(
+                cur_n, ft, fh, rt, rh, part, comp, ids, n_comp, scratch, stats
+            )
+            continue
+
+        # ---- pivots: one per active part, preferring non-frozen ----------
+        pivot_of = np.full(n_parts, -1, dtype=np.int64)
+        pivot_of[part[active]] = active
+        if frozen is not None:
+            nonfrozen = active[~frozen[active]]
+            pivot_of[part[nonfrozen]] = nonfrozen
+        pivots = pivot_of[pivot_of >= 0]
+
+        # ---- forward/backward multi-source frontier BFS ------------------
+        reach_f = frontier_bfs(fip, fh, pivots, part, scratch, stats)
+        reach_b = frontier_bfs(rip, rh, pivots, part, scratch, stats)
+
+        # ---- finalise every pivot's SCC (F ∩ B, per part) ----------------
+        in_scc = np.zeros(cur_n, dtype=bool)
+        in_scc[active] = reach_f[active] & reach_b[active]
+        members = np.flatnonzero(in_scc)
+        new_id, n_new = bucket_ids(part[members], n_parts)
+        comp[resolve(ids, members)] = n_comp + new_id
+        n_comp += n_new
+        part[members] = -1
+
+        # ---- split remainders into (F-only, B-only, untouched) -----------
+        remaining = np.flatnonzero(part >= 0)
+        if remaining.size:
+            state = np.where(
+                reach_f[remaining], 1, np.where(reach_b[remaining], 2, 0)
+            ).astype(np.int64)
+            new_part, n_parts = bucket_ids(
+                part[remaining].astype(np.int64) * 3 + state, 3 * n_parts
+            )
+            part[remaining] = new_part
+        else:
+            n_parts = 0
+
+    return comp.astype(np.int64, copy=False)

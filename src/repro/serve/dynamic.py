@@ -13,8 +13,8 @@ An epoch is one published state: ``(epoch, graph, key, model)``.  Because
 the service runs the *addressable* coin discipline, the incrementally
 maintained model at every epoch is bit-for-bit the cold
 :func:`repro.core.dynamic.coarsen_addressable` of the mutated graph — so
-the epoch's :class:`~.cache.ModelKey` is simply the content address of the
-mutated graph.  Consequences:
+the epoch's :class:`~.cache.ModelKey` is the address of the mutated
+graph.  Consequences:
 
 * ``/stats`` tokens and warm archives stay content-addressed across
   mutations; an archive written at epoch ``e`` reloads *only* for the
@@ -29,15 +29,37 @@ mutated graph.  Consequences:
 Writers are serialised per lineage by a mutation lock; readers take no
 lock at all (a single attribute read of the current tuple is atomic).
 
+Chained epoch keys
+------------------
+
+Hashing the whole CSR at every delta-epoch would make each single-edge
+mutation O(n + m) regardless of how cheap the incremental repair was.
+Instead the lineage maintains a *digest chain*: epoch ``e+1``'s graph
+digest is ``blake2b(chain_e || canonical delta encoding)``
+(:func:`chain_digest`), installed into the fresh graph object's lazy
+digest slot before ``key_for`` runs — O(|deltas|) per epoch.  The chain
+is anchored at the root graph's true content digest and **re-anchored**
+every :attr:`~.service.ServiceConfig.digest_audit_interval` epochs: the
+audit pays the full content hash, re-converging lineage addressing with
+content addressing (a batch that nets out leaves content equal but the
+chain advanced), and integrity-checks the maintained edge arrays against
+a cold re-canonicalisation — drift raises instead of poisoning the
+cache.  Within a lineage the chained digest is injective over delta
+histories, so all the epoch-key guarantees above are preserved.
+
 Counters/spans (see ``docs/observability.md``): span
 ``serve.dynamic.apply``; counters ``serve.dynamic.deltas``,
 ``serve.dynamic.fast_updates``, ``serve.dynamic.scc_recomputations``,
 ``serve.dynamic.full_rebuilds``, ``serve.dynamic.pool.retained``,
-``serve.dynamic.pool.invalidated_prefix``; gauge ``serve.dynamic.epoch``.
+``serve.dynamic.pool.invalidated_prefix``, ``serve.dynamic.key.chained``,
+``serve.dynamic.key.audits``, ``serve.dynamic.key.drift``; gauge
+``serve.dynamic.epoch``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import struct
 import threading
 from typing import TYPE_CHECKING, Sequence
 
@@ -54,7 +76,24 @@ from .cache import ModelKey
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .service import InfluenceService, QueryResult
 
-__all__ = ["DynamicModel"]
+__all__ = ["DynamicModel", "chain_digest"]
+
+
+def chain_digest(parent: str, deltas: Sequence[Delta]) -> str:
+    """The chained epoch digest: ``blake2b(parent || canonical deltas)``.
+
+    Each delta is encoded canonically — a one-byte op tag, ``u`` and ``v``
+    as 8-byte little-endian integers, and the probability as a float64
+    (NaN for deletes, which carry none) — so the chain is a pure function
+    of ``(parent digest, delta sequence)`` and costs O(|deltas|), not the
+    O(n + m) full content hash.  Two lineages that applied the same delta
+    sequence from the same anchor share every chained key.
+    """
+    h = hashlib.blake2b(parent.encode("ascii"), digest_size=16)
+    for d in deltas:
+        p = float("nan") if d.p is None else float(d.p)
+        h.update(struct.pack("<cqqd", d.op[:1].encode("ascii"), d.u, d.v, p))
+    return h.hexdigest()
 
 
 class DynamicModel:
@@ -84,6 +123,10 @@ class DynamicModel:
             scc_backend=config.scc_backend, coins="addressable",
         )
         key = service.key_for(graph)
+        # Epoch-key chain, anchored at the root graph's true content
+        # digest; advanced per batch by chain_digest and re-anchored (plus
+        # integrity-checked) every ``digest_audit_interval`` epochs.
+        self._chain = key.graph_digest
         model = self._coarsener.snapshot()
         service.cache.put(key, model)
         # The whole published state is one tuple so readers can never see
@@ -129,6 +172,39 @@ class DynamicModel:
         """Delete edge ``(u, v)``; bump the epoch."""
         return self.apply_deltas([Delta("delete", u, v)])
 
+    def _derive_epoch_digest(self, graph: InfluenceGraph,
+                             deltas: Sequence[Delta], epoch: int) -> None:
+        """Advance the epoch-key chain and stamp ``graph`` with its digest.
+
+        Ordinary epochs install the O(|deltas|) chained digest
+        (:func:`chain_digest`) into the fresh graph object's lazy digest
+        slot, so the subsequent ``key_for`` — and every archive or cache
+        line derived from it — never re-hashes the full CSR arrays.  Every
+        ``digest_audit_interval``-th epoch instead pays the full content
+        hash: the chain re-anchors to the true content address (bounding
+        how long a lineage key can diverge from content addressing, e.g.
+        after a batch that nets out) and the maintained CSR arrays are
+        integrity-checked against a cold re-canonicalisation — a drifted
+        array state raises instead of silently poisoning the cache.
+        """
+        interval = self._service.config.digest_audit_interval
+        if epoch % interval:
+            self._chain = chain_digest(self._chain, deltas)
+            graph._install_digest(self._chain)
+            inc("serve.dynamic.key.chained")
+            return
+        true_digest = graph.digest()
+        rebuilt = InfluenceGraph.from_edges(graph.n, *graph.edge_arrays())
+        if rebuilt.digest() != true_digest:
+            inc("serve.dynamic.key.drift")
+            raise AlgorithmError(
+                "digest audit failed: the incrementally maintained edge "
+                "arrays no longer match their cold canonical form "
+                f"(epoch {epoch})"
+            )
+        self._chain = true_digest
+        inc("serve.dynamic.key.audits")
+
     def apply_deltas(self, deltas: Sequence[Delta]) -> dict:
         """Apply one batch of edge mutations as a single delta-epoch.
 
@@ -147,6 +223,7 @@ class DynamicModel:
                 summary = self._coarsener.apply_deltas(deltas)
                 prev_epoch, _, prev_key, prev_model = self._current
                 graph = self._coarsener.current_graph()
+                self._derive_epoch_digest(graph, deltas, prev_epoch + 1)
                 key = self._service.key_for(graph)
                 # If the coarse graph survived the delta bit-for-bit, keep
                 # the previous model OBJECT so the pool's identity binding

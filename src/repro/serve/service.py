@@ -95,6 +95,13 @@ class ServiceConfig:
     deadline_seconds: "float | None" = None
     # -- degradation reporting -----------------------------------------
     report_samples: int = 500
+    # -- live-graph key derivation -------------------------------------
+    #: Every Nth delta-epoch pays the full O(m) content hash instead of
+    #: the O(|deltas|) chained digest: the chain is re-anchored to the
+    #: true content address and the coarsener's maintained CSR arrays are
+    #: integrity-checked against a cold rebuild.  1 audits every epoch
+    #: (chaining effectively off).
+    digest_audit_interval: int = 64
 
     def __post_init__(self) -> None:
         if self.r <= 0:
@@ -109,6 +116,8 @@ class ServiceConfig:
             raise ValueError("max_pending must be non-negative")
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ValueError("deadline_seconds must be positive when given")
+        if self.digest_audit_interval <= 0:
+            raise ValueError("digest_audit_interval must be positive")
         if self.sampler not in COIN_DISCIPLINES:
             raise ValueError(f"sampler must be one of {COIN_DISCIPLINES}")
         if self.sampler == "addressable" and self.executor != "serial":

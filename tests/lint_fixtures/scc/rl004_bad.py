@@ -9,3 +9,8 @@ def allocate(n):
     order = np.arange(n)  # line 9: no dtype
     fill = np.full(n, -1)  # line 10: no dtype
     return frontier, labels, order, fill
+
+
+def narrow(n):
+    idx = np.int32 if n < 100_000 else np.int64  # line 15: no iinfo gate
+    return np.zeros(n, dtype=idx)

@@ -4,7 +4,9 @@ import numpy as np
 
 
 def allocate(n):
-    frontier = np.empty(n, dtype=np.int32)
+    imax = np.iinfo(np.int32).max  # the size gate RL004 requires for int32
+    idx = np.int32 if n < imax else np.int64
+    frontier = np.empty(n, dtype=idx)
     labels = np.zeros(n, dtype=np.int64)
     order = np.arange(n, dtype=np.int64)
     fill = np.full(n, -1, dtype=np.int32)

@@ -48,7 +48,7 @@ RULE_CASES = [
     ("RL001", "rl001_bad.py", [3, 5, 9], "rl001_ok.py"),
     ("RL002", "rl002_bad.py", [3, 9, 13, 17], "rl002_ok.py"),
     ("RL003", "rl003_bad.py", [6, 12, 17, 22, 26, 30], "rl003_ok.py"),
-    ("RL004", "scc/rl004_bad.py", [7, 8, 9, 10], "scc/rl004_ok.py"),
+    ("RL004", "scc/rl004_bad.py", [7, 8, 9, 10, 15], "scc/rl004_ok.py"),
     ("RL005", "rl005_bad.py", [5, 9, 11], "rl005_ok.py"),
     ("RL006", "rl006_bad.py", [7, 14, 21], "rl006_ok.py"),
 ]

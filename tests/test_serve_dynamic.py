@@ -361,3 +361,102 @@ class TestHTTPDynamic:
             server.shutdown()
             server.server_close()
             service.close()
+
+
+class TestChainedKeys:
+    """Epoch keys derive from (parent digest, deltas), not an O(m) re-hash."""
+
+    def test_epoch_key_is_the_chained_digest(self):
+        from repro.core.dynamic import Delta
+        from repro.serve.dynamic import chain_digest
+
+        g = _ring_graph()
+        with InfluenceService(_config()) as svc:
+            dynamic = svc.attach_dynamic(g)
+            root = dynamic.key.graph_digest
+            assert root == g.digest()  # anchored at true content address
+            d1 = [Delta("insert", 0, 2, 0.5)]
+            dynamic.apply_deltas(d1)
+            expect = chain_digest(root, d1)
+            assert dynamic.key.graph_digest == expect
+            # A blake2b of the full CSR cannot coincide with the chain
+            # value, so matching it proves the epoch graph was *stamped*,
+            # not re-hashed.
+            assert dynamic.graph._digest == expect
+            d2 = [Delta("delete", 0, 2), Delta("insert", 1, 3, 0.4)]
+            dynamic.apply_deltas(d2)
+            assert dynamic.key.graph_digest == chain_digest(expect, d2)
+
+    def test_counters_and_audit_interval(self):
+        g = _ring_graph()
+        registry = obs.MetricsRegistry()
+        with InfluenceService(_config(digest_audit_interval=2)) as svc:
+            dynamic = svc.attach_dynamic(g)
+            with obs.use_metrics(registry):
+                dynamic.insert_edge(0, 2, 0.5)   # epoch 1: chained
+                dynamic.insert_edge(1, 3, 0.4)   # epoch 2: audit
+                dynamic.delete_edge(0, 2)        # epoch 3: chained
+                dynamic.insert_edge(2, 5, 0.3)   # epoch 4: audit
+            # Audited epochs re-anchor to the true content address.
+            mutated = dynamic.graph
+            from repro.graph import InfluenceGraph
+            fresh = InfluenceGraph.from_edges(mutated.n,
+                                              *mutated.edge_arrays())
+            assert dynamic.key.graph_digest == fresh.digest()
+        assert registry.counter("serve.dynamic.key.chained") == 2
+        assert registry.counter("serve.dynamic.key.audits") == 2
+        assert registry.counter("serve.dynamic.key.drift") == 0
+
+    def test_chained_epochs_skip_full_hashes(self, monkeypatch):
+        from repro.graph.influence_graph import InfluenceGraph
+
+        fresh_hashes = [0]
+        real = InfluenceGraph.digest
+
+        def counting(self):
+            if self._digest is None:
+                fresh_hashes[0] += 1
+            return real(self)
+
+        monkeypatch.setattr(InfluenceGraph, "digest", counting)
+
+        def mutate(interval):
+            g = _ring_graph()
+            with InfluenceService(
+                _config(digest_audit_interval=interval)
+            ) as svc:
+                dynamic = svc.attach_dynamic(g)
+                before = fresh_hashes[0]
+                dynamic.insert_edge(0, 2, 0.5)
+                dynamic.insert_edge(1, 3, 0.4)
+                dynamic.delete_edge(0, 2)
+                return fresh_hashes[0] - before
+
+        chained = mutate(interval=64)
+        audited = mutate(interval=1)
+        # Every audited epoch pays two full hashes (epoch graph + its cold
+        # re-canonicalisation) that chained epochs skip entirely.
+        assert audited >= chained + 2 * 3
+
+    def test_audit_detects_drifted_edge_arrays(self):
+        g = _ring_graph()
+        registry = obs.MetricsRegistry()
+        with InfluenceService(_config(digest_audit_interval=1)) as svc:
+            dynamic = svc.attach_dynamic(g)
+            # Corrupt the maintained CSR order: swap the two head entries
+            # of vertex 0's bucket (the ring edge and a fresh chord).
+            dynamic.insert_edge(0, 2, 0.5)
+            coars = dynamic._coarsener
+            lo, hi = coars._indptr[0], coars._indptr[1]
+            assert hi - lo >= 2
+            coars._heads[lo], coars._heads[lo + 1] = (
+                int(coars._heads[lo + 1]), int(coars._heads[lo]))
+            coars._graph_cache = None
+            with obs.use_metrics(registry):
+                with pytest.raises(AlgorithmError, match="digest audit"):
+                    dynamic.insert_edge(3, 7, 0.4)
+        assert registry.counter("serve.dynamic.key.drift") == 1
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="digest_audit_interval"):
+            ServiceConfig(digest_audit_interval=0)
