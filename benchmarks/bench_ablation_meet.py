@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.bench import render_table, save_json
 from repro.partition import meet_labels, meet_labels_hash
+from repro.rng import ensure_rng
 
 from conftest import results_path, run_once
 
@@ -23,7 +24,7 @@ BLOCKS = 50
 
 
 def generate() -> dict:
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     rows = []
     raw: dict = {}
     for n in SIZES:

@@ -48,6 +48,7 @@ from repro.diffusion import sample_live_edge_csr
 from repro.diffusion.live_edge import sample_live_edge_mask
 from repro.graph import InfluenceGraph
 from repro.partition import Partition
+from repro.rng import ensure_rng
 from repro.scc import multi_scc_labels, scc_labels, semi_external_scc_labels
 from repro.scc.fwbw import fwbw_scc_labels
 from repro.storage import PairStore
@@ -84,7 +85,7 @@ def generated_graph(n: int, m: int, seed: int = 0) -> InfluenceGraph:
     the one where block-restricted retirement has work to mask.  The kernel
     throughput rows are unaffected (they run on the full topology).
     """
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     tails = (n * rng.random(m) ** 2).astype(np.int64)
     heads = rng.integers(0, n, m, dtype=np.int64)
     k = int(m * 0.15) // 2
@@ -118,7 +119,7 @@ def deep_generated_graph(n: int, seed: int = 0) -> InfluenceGraph:
     times.  This is the tier the batched kernel's acceptance gate reads;
     the shallow tiers above are cache-bound and batching is ~par there.
     """
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     c = max(8, n // 20) & ~3  # vertices living in always-live 4-cycles
     cyc = np.arange(c, dtype=np.int64)
     ring = np.arange(c, n, dtype=np.int64)
@@ -207,7 +208,7 @@ def _robust_modes(graph: InfluenceGraph, r: int) -> dict:
 
     # Batch-occupancy accounting for the amortisation claim: one batched
     # run over the same masks the per-sample fold would draw.
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     masks = np.stack([sample_live_edge_mask(graph, rng) for _ in range(r)])
     _, mstats = multi_scc_labels(graph.indptr, graph.heads, masks,
                                  return_stats=True)
@@ -220,7 +221,7 @@ def _robust_modes(graph: InfluenceGraph, r: int) -> dict:
     # Round-by-round work accounting for the refinement claim: fold the
     # SAME samples with and without block restriction, so the per-round
     # processed-edge reduction is an apples-to-apples measurement.
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     samples = [sample_live_edge_csr(graph, rng) for _ in range(r)]
     for mode, use_blocks in (("fwbw-refine", True), ("fwbw-full", False)):
         partition = Partition.trivial(graph.n)
@@ -378,7 +379,7 @@ def quick_canary() -> None:
     graph's live-edge samples, per batched row, and through the
     refinement-aware folds.  No timing, no files."""
     graph = generated_graph(2_000, 10_000, seed=1)
-    rng = np.random.default_rng(0)
+    rng = ensure_rng(0)
     for _ in range(6):
         indptr, heads = sample_live_edge_csr(graph, rng)
         a = Partition(scc_labels(indptr, heads, backend="fwbw"))

@@ -16,6 +16,7 @@ import numpy as np
 from repro.bench import render_table, save_json
 from repro.core import DynamicCoarsener, coarsen_influence_graph
 from repro.datasets import load_dataset
+from repro.rng import ensure_rng
 
 from conftest import results_path, run_once
 
@@ -27,7 +28,7 @@ N_UPDATES = 60
 def generate() -> dict:
     graph = load_dataset(DATASET, "exp", seed=0)
     dyn = DynamicCoarsener(graph, r=R, rng=0)
-    rng = np.random.default_rng(42)
+    rng = ensure_rng(42)
 
     # Mixed update stream: random insertions with realistic (EXP-like)
     # probabilities, plus deletions of random existing edges.

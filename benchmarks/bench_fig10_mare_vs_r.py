@@ -14,6 +14,7 @@ from repro.bench import ascii_plot, render_series, save_json
 from repro.core import coarsen, estimate_on_coarse, robust_scc_refinement_sequence
 from repro.core.result import CoarsenResult, CoarsenStats
 from repro.datasets import load_dataset
+from repro.rng import ensure_rng
 
 from conftest import results_path, run_once
 
@@ -28,7 +29,7 @@ def generate() -> dict:
     series = {}
     for name in DATASETS:
         graph = load_dataset(name, "exp", seed=0)
-        rng = np.random.default_rng(13)
+        rng = ensure_rng(13)
         vertices = rng.choice(graph.n, size=N_VERTICES, replace=False)
         gt_est = MonteCarloEstimator(N_SIMULATIONS, rng=1)
         ground_truth = np.array(

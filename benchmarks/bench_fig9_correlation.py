@@ -16,6 +16,7 @@ from repro.algorithms import MonteCarloEstimator
 from repro.bench import render_table, save_json
 from repro.core import coarsen_influence_graph, estimate_on_coarse
 from repro.datasets import load_dataset
+from repro.rng import ensure_rng
 
 from conftest import results_path, run_once
 
@@ -26,7 +27,7 @@ N_SIMULATIONS = 6_000
 
 def generate() -> dict:
     graph = load_dataset(DATASET, "exp", seed=0)
-    rng = np.random.default_rng(11)
+    rng = ensure_rng(11)
     vertices = rng.choice(graph.n, size=N_VERTICES, replace=False)
     gt_est = MonteCarloEstimator(N_SIMULATIONS, rng=1)
     ground_truth = np.array(

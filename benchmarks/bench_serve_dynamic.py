@@ -39,6 +39,7 @@ import numpy as np
 from repro.bench import render_table, save_json
 from repro.core import coarsen_addressable
 from repro.core.dynamic import Delta
+from repro.rng import ensure_rng
 from repro.serve import InfluenceService, ServiceConfig
 
 from bench_ablation_scc import generated_graph
@@ -62,7 +63,7 @@ class _Churn:
     def __init__(self, dyn, n: int, seed: int = 11) -> None:
         self._dyn = dyn
         self._n = n
-        self._rng = np.random.default_rng(seed)
+        self._rng = ensure_rng(seed)
         self._inserted: list[tuple[int, int]] = []
 
     def batch(self, size: int) -> list[Delta]:

@@ -25,6 +25,7 @@ from repro.analysis import (
 from repro.bench import format_seconds, render_table, save_json
 from repro.core import coarsen_influence_graph, estimate_on_coarse
 from repro.datasets import DATASETS, load_dataset
+from repro.rng import ensure_rng
 
 from conftest import dataset_names, results_path, run_once
 
@@ -58,7 +59,7 @@ def _adaptive_sims(graph, vertices) -> int:
 def evaluate(name: str, setting: str) -> dict:
     graph = load_dataset(name, setting, seed=0)
     result = coarsen_influence_graph(graph, r=R, rng=0)
-    rng = np.random.default_rng(7)
+    rng = ensure_rng(7)
     vertices = rng.choice(
         graph.n, size=min(N_TIMING_VERTICES, graph.n), replace=False
     )

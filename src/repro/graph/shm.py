@@ -34,6 +34,7 @@ other worker's copy of the truth.
 from __future__ import annotations
 
 import atexit
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -203,7 +204,11 @@ class SharedGraph:
 
 
 #: Per-process attachment cache: segment name -> (graph view, mapping).
+#: Guarded by ``_ATTACH_LOCK`` — pool workers are single-threaded, but the
+#: thread-executor path shares the process, and a racing double-attach
+#: would leak a second mapping of the same segment.
 _ATTACHED: dict[str, tuple[InfluenceGraph, shared_memory.SharedMemory]] = {}
+_ATTACH_LOCK = threading.Lock()
 
 
 def attach_shared_graph(spec: SharedGraphSpec) -> InfluenceGraph:
@@ -212,18 +217,19 @@ def attach_shared_graph(spec: SharedGraphSpec) -> InfluenceGraph:
     Repeated calls with the same segment return the cached graph object, so
     a pool worker that processes many tasks maps the pages exactly once.
     """
-    entry = _ATTACHED.get(spec.name)
-    if entry is None:
-        try:
-            shm = shared_memory.SharedMemory(name=spec.name)
-        except FileNotFoundError as exc:
-            raise GraphFormatError(
-                f"shared graph segment {spec.name!r} does not exist "
-                f"(publisher already unlinked it?)"
-            ) from exc
-        entry = (_view_graph(spec, shm), shm)
-        _ATTACHED[spec.name] = entry
-    return entry[0]
+    with _ATTACH_LOCK:
+        entry = _ATTACHED.get(spec.name)
+        if entry is None:
+            try:
+                shm = shared_memory.SharedMemory(name=spec.name)
+            except FileNotFoundError as exc:
+                raise GraphFormatError(
+                    f"shared graph segment {spec.name!r} does not exist "
+                    f"(publisher already unlinked it?)"
+                ) from exc
+            entry = (_view_graph(spec, shm), shm)
+            _ATTACHED[spec.name] = entry
+        return entry[0]
 
 
 def detach_shared_graphs() -> None:
@@ -233,10 +239,11 @@ def detach_shared_graphs() -> None:
     their own views alive; in that case the unmap is deferred to their
     garbage collection rather than forced here.
     """
-    while _ATTACHED:
-        _name, (_graph, shm) = _ATTACHED.popitem()
-        del _graph
-        _close_tolerating_views(shm)
+    with _ATTACH_LOCK:
+        while _ATTACHED:
+            _name, (_graph, shm) = _ATTACHED.popitem()
+            del _graph
+            _close_tolerating_views(shm)
 
 
 atexit.register(detach_shared_graphs)

@@ -1,24 +1,34 @@
 """reprolint — AST-based invariant checks for the repro library.
 
-A zero-dependency static-analysis pass that machine-checks the promises
-the library's determinism story rests on: no oracle imports in library
-code (RL001), all randomness threaded through :mod:`repro.rng` (RL002),
-no hash-order leaks into ordered results (RL003), explicit dtypes in the
-kernel modules (RL004), monotonic-clock timing (RL005), and no silent
-exception swallowing (RL006).
+A zero-dependency, two-pass static analyzer that machine-checks the
+promises the library's determinism *and* concurrency story rest on.  The
+per-file pass: no oracle imports in library code (RL001), all randomness
+threaded through :mod:`repro.rng` (RL002), no hash-order leaks into
+ordered results (RL003), explicit dtypes in the kernel modules (RL004),
+monotonic-clock timing (RL005), and no silent exception swallowing
+(RL006).  The project pass (``--strict``) builds a whole-project symbol
+index (:mod:`repro.lint.index`) and checks lock discipline across modules
+(:mod:`repro.lint.concurrency`): guarded attributes written without their
+lock (RL101), lock-order inversions (RL102), torn publishes (RL103), and
+primitives created outside ``__init__`` (RL104).
 
-Run it with ``python -m repro.lint [paths]`` or ``repro lint``; suppress a
-single finding with ``# reprolint: disable=RL003 - justification``.  The
-rule catalogue lives in ``docs/static-analysis.md``.
+Run it with ``python -m repro.lint [paths] [--strict]`` or ``repro
+lint``; suppress a single finding with ``# reprolint: disable=RL003 -
+justification`` (``--report-unused-suppressions`` flags waivers that have
+rotted).  The rule catalogue lives in ``docs/static-analysis.md``; the
+runtime counterpart of the RL1xx family is :mod:`repro.sanitize`.
 """
 
+from .concurrency import PROJECT_RULES, project_rule_ids
 from .engine import (
     Violation,
+    collect_files,
     lint_file,
     lint_paths,
     lint_source,
 )
-from .reporting import render_json, render_text
+from .index import ProjectIndex, build_index, build_index_for_paths
+from .reporting import JSON_SCHEMA_VERSION, render_json, render_text
 from .rules import RULES, default_rules, rule_ids
 
 __all__ = [
@@ -26,9 +36,16 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "collect_files",
     "render_text",
     "render_json",
+    "JSON_SCHEMA_VERSION",
     "RULES",
+    "PROJECT_RULES",
+    "ProjectIndex",
+    "build_index",
+    "build_index_for_paths",
     "default_rules",
     "rule_ids",
+    "project_rule_ids",
 ]

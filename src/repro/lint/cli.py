@@ -2,6 +2,13 @@
 
 Exit codes follow the usual linter convention: 0 clean, 1 violations
 found, 2 usage error.
+
+``--strict`` enables the project-scope concurrency pass (RL101–RL104,
+:mod:`repro.lint.concurrency`); ``--profile bench`` relaxes the rule set
+for ``benchmarks/`` and ``scripts/`` trees (oracle imports are the point
+of a benchmark baseline, so RL001 is off; determinism rules stay on);
+``--report-unused-suppressions`` adds RL007 findings for waiver comments
+that no longer silence anything.
 """
 
 from __future__ import annotations
@@ -10,16 +17,33 @@ import argparse
 import sys
 from pathlib import Path
 
-from .engine import lint_paths
+from .concurrency import PROJECT_RULES
+from .engine import UNUSED_SUPPRESSION_RULE, lint_paths
 from .reporting import REPORTERS
-from .rules import RULES, rule_ids
+from .rules import RULES
+from .rules import rule_ids as file_rule_ids
 
-__all__ = ["build_parser", "main", "run"]
+__all__ = ["build_parser", "main", "run", "PROFILES"]
+
+#: Path-scoped rule profiles: profile name -> per-file rule ids dropped.
+#: "bench" is for benchmark/script trees, where importing the oracle
+#: (networkx et al.) is the point — everything else still applies.
+PROFILES: "dict[str, frozenset[str]]" = {
+    "default": frozenset(),
+    "bench": frozenset({"RL001"}),
+}
 
 
 def _default_target() -> Path:
     """Lint the installed ``repro`` package when no path is given."""
     return Path(__file__).resolve().parent.parent
+
+
+def all_rule_ids() -> "list[str]":
+    """Every selectable rule id: per-file, project, and RL007."""
+    return (file_rule_ids()
+            + [rule.rule_id for rule in PROJECT_RULES]
+            + [UNUSED_SUPPRESSION_RULE])
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,6 +69,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--strict", action="store_true",
+        help="also run the project-scope concurrency rules (RL101-RL104)",
+    )
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="default",
+        help="path-scoped rule profile; 'bench' allows oracle imports "
+             "(benchmarks/ and scripts/ trees)",
+    )
+    parser.add_argument(
+        "--report-unused-suppressions", action="store_true",
+        help="flag stale '# reprolint: disable=' comments as RL007",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -53,34 +90,47 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _parse_rule_set(text: str, parser: argparse.ArgumentParser) -> set[str]:
     wanted = {part.strip().upper() for part in text.split(",") if part.strip()}
-    known = set(rule_ids())
+    known = set(all_rule_ids())
     unknown = wanted - known
     if unknown:
         parser.error(
             f"unknown rule id(s) {', '.join(sorted(unknown))}; "
-            f"known: {', '.join(rule_ids())}"
+            f"known: {', '.join(all_rule_ids())}"
         )
     return wanted
 
 
 def run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.list_rules:
-        for rule in RULES:
+        catalogue = list(RULES) + list(PROJECT_RULES)
+        for rule in catalogue:
             print(f"{rule.rule_id}  {rule.title}")
             print(f"       {rule.rationale}")
+        print(f"{UNUSED_SUPPRESSION_RULE}  stale suppression comment "
+              "(via --report-unused-suppressions)")
+        print("       a waiver whose rule no longer fires hides nothing "
+              "and should be removed")
         return 0
-    rules = list(RULES)
+    rules = [r for r in RULES if r.rule_id not in PROFILES[args.profile]]
+    project = list(PROJECT_RULES) if args.strict else []
     if args.select:
         keep = _parse_rule_set(args.select, parser)
         rules = [r for r in rules if r.rule_id in keep]
+        project = [r for r in project if r.rule_id in keep]
     if args.ignore:
         drop = _parse_rule_set(args.ignore, parser)
         rules = [r for r in rules if r.rule_id not in drop]
+        project = [r for r in project if r.rule_id not in drop]
     paths = [Path(p) for p in args.paths] or [_default_target()]
     missing = [p for p in paths if not p.exists()]
     if missing:
         parser.error(f"no such path: {', '.join(map(str, missing))}")
-    violations = lint_paths(paths, rules=rules)
+    violations = lint_paths(
+        paths,
+        rules=rules,
+        project_rules=project or None,
+        report_unused=args.report_unused_suppressions,
+    )
     print(REPORTERS[args.format](violations))
     return 1 if violations else 0
 

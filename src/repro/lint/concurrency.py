@@ -1,0 +1,205 @@
+"""The RL1xx concurrency rule family — pass two of the analyzer.
+
+These rules consume the :class:`~repro.lint.index.ProjectIndex` built over
+the whole scan set, so one finding can span files (a lock-order cycle
+between ``dynamic.py`` and ``service.py`` is a single violation).  They
+are enabled by ``repro lint --strict`` and scoped to classes that own at
+least one ``threading.Lock``/``RLock`` field — classes without locks have
+made no mutual-exclusion promise for the analyzer to hold them to.
+
+Catalogue
+---------
+
+RL101
+    Write to an attribute outside the guard the class itself established.
+    The guard is either pinned by a ``#: guarded-by: _lock`` annotation or
+    inferred: the lock held by the majority of non-``__init__`` writes
+    (``__init__`` is single-threaded construction and always exempt).
+    Annotations naming a lock field the class does not own are also RL101
+    findings — a pinned intent the index cannot verify is a bug in itself.
+RL102
+    Lock-order inversion: a cycle in the static acquisition graph, whose
+    edges are "lock A held while acquiring lock B" — collected from nested
+    ``with`` scopes and propagated through resolved call edges (including
+    cross-class calls like ``self._service._publish_epoch``).
+RL103
+    Torn publish: an attribute both *published* (returned from a method,
+    or stored into a published tuple) and *mutated in place* outside
+    ``__init__``.  Readers hold the published object without the lock, so
+    in-place mutation tears their snapshot; rebinding a fresh object
+    (copy-on-publish) is the fix and does not fire the rule.
+RL104
+    ``threading`` primitive constructed outside ``__init__``/module/class
+    scope.  A lock created per-call has no stable identity, so it excludes
+    nothing; replacing a guard mid-flight unlocks every waiter.
+"""
+
+from __future__ import annotations
+
+from .engine import Violation
+from .index import ProjectIndex
+
+__all__ = [
+    "ProjectRule",
+    "UnguardedWrite",
+    "LockOrderInversion",
+    "TornPublish",
+    "PrimitiveOutsideInit",
+    "PROJECT_RULES",
+    "project_rule_ids",
+]
+
+
+class ProjectRule:
+    """A rule evaluated once over the whole-project index."""
+
+    rule_id = "RL1xx"
+    title = ""
+    rationale = ""
+
+    def check_project(self, index: ProjectIndex) -> "list[Violation]":
+        raise NotImplementedError
+
+
+class UnguardedWrite(ProjectRule):
+    rule_id = "RL101"
+    title = "write to a guarded attribute without holding its lock"
+    rationale = (
+        "an attribute the class mutates under a lock everywhere else is "
+        "racy at the one site that skips it; annotate intent with "
+        "'#: guarded-by: <lock>' or take the lock"
+    )
+
+    def check_project(self, index: ProjectIndex) -> "list[Violation]":
+        found: "list[Violation]" = []
+        for name in sorted(index.classes):
+            cls = index.classes[name]
+            for info in index.class_guards(cls):
+                if info.unknown_lock:
+                    found.append(Violation(
+                        path=cls.path, line=cls.line, col=1,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{cls.name}.{info.attr} is annotated "
+                            f"guarded-by '{info.guard}' but the class owns "
+                            f"no such lock field"
+                        ),
+                    ))
+                    continue
+                for write in info.unguarded:
+                    found.append(Violation(
+                        path=cls.path, line=write.line, col=write.col,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"write to {cls.name}.{info.attr} without "
+                            f"holding '{info.guard}' "
+                            f"({info.source} says it guards this attribute)"
+                        ),
+                        end_line=write.end_line,
+                    ))
+        return found
+
+
+class LockOrderInversion(ProjectRule):
+    rule_id = "RL102"
+    title = "lock-order inversion in the static acquisition graph"
+    rationale = (
+        "two code paths that take the same locks in opposite orders "
+        "deadlock under the right interleaving; pick one global order"
+    )
+
+    def check_project(self, index: ProjectIndex) -> "list[Violation]":
+        found: "list[Violation]" = []
+        for nodes, witness in index.lock_cycles():
+            first = witness[0]
+            path, _, line = first[2].rpartition(":")
+            detail = "; ".join(
+                f"{before} -> {after} at {site}"
+                for before, after, site in witness
+            )
+            found.append(Violation(
+                path=path, line=int(line), col=1,
+                rule_id=self.rule_id,
+                message=(
+                    f"lock-order cycle over {{{', '.join(nodes)}}}: "
+                    f"{detail}"
+                ),
+            ))
+        return found
+
+
+class TornPublish(ProjectRule):
+    rule_id = "RL103"
+    title = "published attribute mutated in place (torn publish)"
+    rationale = (
+        "readers hold the published object without the lock; mutating it "
+        "in place tears their snapshot — rebind a fresh object instead "
+        "(copy-on-publish)"
+    )
+
+    def check_project(self, index: ProjectIndex) -> "list[Violation]":
+        found: "list[Violation]" = []
+        for name in sorted(index.classes):
+            cls = index.classes[name]
+            if not cls.lock_fields:
+                continue
+            published = {}
+            for site in cls.publishes:
+                published.setdefault(site.attr, site)
+            for write in cls.writes:
+                if write.in_init or write.kind != "mutate":
+                    continue
+                site = published.get(write.attr)
+                if site is None:
+                    continue
+                found.append(Violation(
+                    path=cls.path, line=write.line, col=write.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"{cls.name}.{write.attr} is published "
+                        f"({site.how} in {site.method}, line {site.line}) "
+                        f"but mutated in place here; rebind a fresh object "
+                        f"(copy-on-publish)"
+                    ),
+                    end_line=write.end_line,
+                ))
+        return found
+
+
+class PrimitiveOutsideInit(ProjectRule):
+    rule_id = "RL104"
+    title = "threading primitive created outside __init__"
+    rationale = (
+        "a lock constructed per call (or swapped mid-flight) has no "
+        "stable identity, so it excludes nothing; construct primitives "
+        "in __init__ or at module scope"
+    )
+
+    def check_project(self, index: ProjectIndex) -> "list[Violation]":
+        found: "list[Violation]" = []
+        for site in index.primitives:
+            if site.allowed:
+                continue
+            found.append(Violation(
+                path=site.path, line=site.line, col=site.col,
+                rule_id=self.rule_id,
+                message=(
+                    f"threading.{site.kind}() created in {site.context}; "
+                    f"construct concurrency primitives in __init__ or at "
+                    f"module scope so they have stable identity"
+                ),
+                end_line=site.end_line,
+            ))
+        return found
+
+
+PROJECT_RULES: "tuple[ProjectRule, ...]" = (
+    UnguardedWrite(),
+    LockOrderInversion(),
+    TornPublish(),
+    PrimitiveOutsideInit(),
+)
+
+
+def project_rule_ids() -> "list[str]":
+    return [rule.rule_id for rule in PROJECT_RULES]

@@ -1,11 +1,15 @@
 """Core of the ``reprolint`` static-analysis pass.
 
-The engine is deliberately tiny: it parses each file once with the stdlib
-:mod:`ast` module, hands the tree to every registered rule, and filters the
-reported violations through inline suppression comments.  Rules are pure
-functions of the parse tree plus a little file context (most importantly the
-path *relative to the repro package*, so path-scoped rules like RL004 can
-tell ``scc/fwbw.py`` apart from ``datasets/generators.py``).
+The engine runs two passes.  Pass one parses every file once with the
+stdlib :mod:`ast` module and hands each tree to the per-file rules
+(RL001–RL006) — pure functions of the parse tree plus a little file
+context (most importantly the path *relative to the repro package*, so
+path-scoped rules like RL004 can tell ``scc/fwbw.py`` apart from
+``datasets/generators.py``).  Pass two, enabled by ``--strict``, builds a
+whole-project symbol index (:mod:`repro.lint.index`) over the same parse
+trees and evaluates the cross-module concurrency rules
+(:mod:`repro.lint.concurrency`, RL101–RL104) against it.  Violations from
+both passes flow through the same inline-suppression filter.
 
 Suppression grammar (comments, parsed with :mod:`tokenize` so strings that
 merely *contain* the text do not count)::
@@ -34,6 +38,10 @@ __all__ = [
     "Violation",
     "FileContext",
     "Suppressions",
+    "SuppressionComment",
+    "ParsedFile",
+    "parse_source",
+    "collect_files",
     "lint_source",
     "lint_file",
     "lint_paths",
@@ -43,6 +51,8 @@ __all__ = [
 
 #: Rule id used for files the engine cannot parse at all.
 PARSE_ERROR_RULE = "RL000"
+#: Rule id for stale suppression comments (``--report-unused-suppressions``).
+UNUSED_SUPPRESSION_RULE = "RL007"
 
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*(?P<kind>disable-file|disable)\s*=\s*"
@@ -79,12 +89,32 @@ class Violation:
         }
 
 
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One ``# reprolint: disable[...]`` comment, as written in source."""
+
+    line: int
+    kind: str  # "disable" | "disable-file"
+    rules: frozenset
+
+    def covers(self, violation: Violation) -> bool:
+        """Would this comment silence ``violation``?"""
+        if not {"ALL", violation.rule_id} & self.rules:
+            return False
+        if self.kind == "disable-file":
+            return True
+        last = max(violation.end_line, violation.line)
+        return violation.line <= self.line <= last
+
+
 @dataclass
 class Suppressions:
     """Inline suppression state for one file."""
 
     by_line: dict[int, set[str]] = field(default_factory=dict)
     file_level: set[str] = field(default_factory=set)
+    #: Every comment as written, for stale-waiver detection (RL007).
+    comments: "list[SuppressionComment]" = field(default_factory=list)
 
     def silences(self, violation: Violation) -> bool:
         if {"ALL", violation.rule_id} & self.file_level:
@@ -132,7 +162,11 @@ def parse_suppressions(source: str) -> Suppressions:
             if not match:
                 continue
             rules = {r.strip().upper() for r in match.group("rules").split(",")}
-            if match.group("kind") == "disable-file":
+            kind = match.group("kind")
+            supp.comments.append(SuppressionComment(
+                line=tok.start[0], kind=kind, rules=frozenset(rules),
+            ))
+            if kind == "disable-file":
                 supp.file_level |= rules
             else:
                 supp.by_line.setdefault(tok.start[0], set()).update(rules)
@@ -162,6 +196,133 @@ def package_relative(path: Path, root: Path | None = None) -> str:
     return path.name
 
 
+@dataclass
+class ParsedFile:
+    """One file after pass-one parsing (tree, suppressions, or error)."""
+
+    ctx: "FileContext | None"
+    suppressions: Suppressions
+    error: "Violation | None" = None
+
+
+def parse_source(
+    source: str,
+    display: str = "<string>",
+    package_rel: str | None = None,
+) -> ParsedFile:
+    """Parse one source string into a :class:`ParsedFile`."""
+    supp = parse_suppressions(source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return ParsedFile(
+            ctx=None,
+            suppressions=supp,
+            error=Violation(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"could not parse file: {exc.msg}",
+            ),
+        )
+    ctx = FileContext(
+        display=display,
+        source=source,
+        tree=tree,
+        package_rel=package_rel if package_rel is not None else display,
+    )
+    return ParsedFile(ctx=ctx, suppressions=supp)
+
+
+def parse_file(path: Path, root: Path | None = None) -> ParsedFile:
+    """Parse one file on disk into a :class:`ParsedFile`."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return ParsedFile(
+            ctx=None,
+            suppressions=Suppressions(),
+            error=Violation(
+                path=str(path),
+                line=1,
+                col=1,
+                rule_id=PARSE_ERROR_RULE,
+                message=f"could not read file: {exc}",
+            ),
+        )
+    return parse_source(
+        source,
+        display=str(path),
+        package_rel=package_relative(path, root),
+    )
+
+
+def collect_files(paths: Iterable[Path]) -> "list[ParsedFile]":
+    """Parse every python file under ``paths`` (pass one, no rules yet)."""
+    return [parse_file(file, root=root)
+            for file, root in iter_python_files(paths)]
+
+
+def _check_file(
+    pf: ParsedFile, rules: "Iterable[object]"
+) -> "list[Violation]":
+    found: "list[Violation]" = []
+    for rule in rules:
+        if not rule.applies(pf.ctx):  # type: ignore[attr-defined]
+            continue
+        found.extend(rule.check(pf.ctx))  # type: ignore[attr-defined]
+    return found
+
+
+def _stale_suppressions(
+    parsed: "list[ParsedFile]",
+    raw_by_file: "dict[str, list[Violation]]",
+    checked_ids: "set[str]",
+) -> "list[Violation]":
+    """RL007: per-rule findings for waivers that no longer silence anything.
+
+    A comment's rule id is *stale* when no pre-filter violation of that
+    rule is covered by the comment.  Rule ids outside ``checked_ids`` are
+    skipped — a waiver for a rule this run did not evaluate (e.g. RL104
+    without ``--strict``) cannot be judged stale.
+    """
+    found: "list[Violation]" = []
+    for pf in parsed:
+        if pf.ctx is None:
+            continue
+        raw = raw_by_file.get(pf.ctx.display, [])
+        for comment in pf.suppressions.comments:
+            ids = sorted(comment.rules)
+            if "ALL" in comment.rules:
+                ids = ["ALL"]
+            for rule_id in ids:
+                if rule_id != "ALL" and rule_id not in checked_ids:
+                    continue
+                probe = comment.rules if rule_id == "ALL" \
+                    else frozenset({rule_id})
+                narrowed = SuppressionComment(
+                    line=comment.line, kind=comment.kind, rules=probe,
+                )
+                if any(narrowed.covers(v) for v in raw):
+                    continue
+                what = ("suppression" if rule_id == "ALL"
+                        else f"suppression of {rule_id}")
+                where = ("in this file" if comment.kind == "disable-file"
+                         else "on this line")
+                found.append(Violation(
+                    path=pf.ctx.display,
+                    line=comment.line,
+                    col=1,
+                    rule_id=UNUSED_SUPPRESSION_RULE,
+                    message=(
+                        f"stale {what}: the rule no longer fires {where}"
+                        f" — remove the waiver"
+                    ),
+                ))
+    return found
+
+
 def lint_source(
     source: str,
     display: str = "<string>",
@@ -172,32 +333,12 @@ def lint_source(
     from .rules import default_rules
 
     active = list(default_rules() if rules is None else rules)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return [
-            Violation(
-                path=display,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                rule_id=PARSE_ERROR_RULE,
-                message=f"could not parse file: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(
-        display=display,
-        source=source,
-        tree=tree,
-        package_rel=package_rel if package_rel is not None else display,
-    )
-    supp = parse_suppressions(source)
-    found: list[Violation] = []
-    for rule in active:
-        if not rule.applies(ctx):  # type: ignore[attr-defined]
-            continue
-        found.extend(rule.check(ctx))  # type: ignore[attr-defined]
+    pf = parse_source(source, display=display, package_rel=package_rel)
+    if pf.error is not None:
+        return [pf.error]
+    found = _check_file(pf, active)
     return sorted(
-        (v for v in found if not supp.silences(v)),
+        (v for v in found if not pf.suppressions.silences(v)),
         key=Violation.sort_key,
     )
 
@@ -247,12 +388,51 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[tuple[Path, Path]]:
 def lint_paths(
     paths: Iterable[Path],
     rules: "Iterable[object] | None" = None,
+    project_rules: "Iterable[object] | None" = None,
+    report_unused: bool = False,
 ) -> list[Violation]:
-    """Lint every python file under ``paths``; returns sorted violations."""
+    """Lint every python file under ``paths``; returns sorted violations.
+
+    ``rules`` are the per-file pass; ``project_rules`` (RL101–RL104, or
+    any object with ``check_project(index)``) trigger the project pass: a
+    :class:`~repro.lint.index.ProjectIndex` is built over every parsed
+    file and each project rule runs once against it.  With
+    ``report_unused``, suppression comments that no longer silence any
+    evaluated rule are reported as RL007.
+    """
     from .rules import default_rules
 
     active = list(default_rules() if rules is None else rules)
-    found: list[Violation] = []
-    for file, root in iter_python_files(paths):
-        found.extend(lint_file(file, root=root, rules=active))
-    return sorted(found, key=Violation.sort_key)
+    project = list(project_rules) if project_rules is not None else []
+    parsed = collect_files(paths)
+
+    raw_by_file: "dict[str, list[Violation]]" = {}
+    errors: "list[Violation]" = []
+    for pf in parsed:
+        if pf.ctx is None:
+            if pf.error is not None:
+                errors.append(pf.error)
+            continue
+        raw_by_file[pf.ctx.display] = _check_file(pf, active)
+
+    if project:
+        from .index import build_index
+
+        index = build_index(pf.ctx for pf in parsed if pf.ctx is not None)
+        for rule in project:
+            for violation in rule.check_project(index):  # type: ignore[attr-defined]
+                raw_by_file.setdefault(violation.path, []).append(violation)
+
+    suppress_map = {
+        pf.ctx.display: pf.suppressions for pf in parsed
+        if pf.ctx is not None
+    }
+    kept = list(errors)
+    for display, violations in raw_by_file.items():
+        supp = suppress_map.get(display, Suppressions())
+        kept.extend(v for v in violations if not supp.silences(v))
+    if report_unused:
+        checked = {r.rule_id for r in active}  # type: ignore[attr-defined]
+        checked |= {r.rule_id for r in project}  # type: ignore[attr-defined]
+        kept.extend(_stale_suppressions(parsed, raw_by_file, checked))
+    return sorted(kept, key=Violation.sort_key)

@@ -1,0 +1,1018 @@
+"""Project symbol index — pass one of the two-pass reprolint pipeline.
+
+Per-file rules (RL001–RL006) see one parse tree at a time.  The
+concurrency family (RL101–RL104, :mod:`repro.lint.concurrency`) has to
+reason *across* modules: ``DynamicModel.apply_deltas`` holds its mutation
+lock while calling into ``InfluenceService._publish_epoch``, which takes
+the pool lock, which orders two locks that live in different files.  This
+module builds the whole-project table those rules consume:
+
+* every class, its methods, and its ``threading`` primitive fields
+  (``self._lock = threading.Lock()``);
+* every write to a ``self.<attr>`` — rebinds, subscript stores, augmented
+  assigns, and in-place mutator calls (``.append``/``.update``/…) — with
+  the set of *own-class* locks lexically held at the write;
+* every ``with self._lock:`` acquisition, with the locks already held
+  (the static lock-acquisition graph for RL102);
+* cross-method/cross-class call sites, resolved through field types
+  (``self.cache = ModelCache(...)`` makes ``self.cache.put`` resolve to
+  ``ModelCache.put``) and parameter annotations (including string
+  annotations like ``service: "InfluenceService"``);
+* publication sites: attributes returned directly from a method or stored
+  into a published tuple (``self._current = (..., self._chain)``) — the
+  inputs to the torn-publish rule RL103;
+* ``#: guarded-by: <lock>`` annotation comments pinning author intent.
+
+Lock *identity* is the qualified field, ``ClassName.field`` — two classes
+each owning a ``_lock`` are two locks.  Because a private helper like
+``ModelCache._evict_lru`` mutates guarded state without a local ``with``,
+the index also computes an **entry lockset** per private method: the
+intersection, over every resolved intra-project call site, of the locks
+held at the call (plus the caller's own entry lockset), iterated to a
+fixed point.  A method whose name is ever referenced without being called
+(e.g. handed to ``executor.submit``) escapes the analysis and gets the
+empty entry lockset.  The approximation is sound in the direction that
+matters: it can miss held locks (false RL101 positives are then silenced
+by an explicit annotation or waiver), never invent them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .engine import FileContext
+
+__all__ = [
+    "LOCK_KINDS",
+    "PRIMITIVE_KINDS",
+    "MUTATOR_METHODS",
+    "LockField",
+    "WriteSite",
+    "AcquireSite",
+    "CallSite",
+    "PublishSite",
+    "PrimitiveSite",
+    "MethodRecord",
+    "ClassIndex",
+    "ProjectIndex",
+    "build_index",
+    "build_index_for_paths",
+]
+
+#: Primitive kinds usable as guards (identity-stable mutual exclusion).
+LOCK_KINDS = frozenset({"Lock", "RLock"})
+#: Everything RL104 recognises as a concurrency primitive constructor.
+PRIMITIVE_KINDS = LOCK_KINDS | frozenset({
+    "Semaphore", "BoundedSemaphore", "Condition", "Event", "Barrier",
+    "local",
+})
+#: Method names treated as in-place mutations of their receiver.
+MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "discard", "remove", "pop",
+    "popitem", "clear", "update", "setdefault", "move_to_end", "sort",
+    "reverse", "appendleft", "extendleft", "popleft", "fill", "resize",
+})
+
+_GUARDED_BY_RE = re.compile(
+    r"#:\s*guarded-by:\s*(?P<lock>[A-Za-z_][A-Za-z0-9_]*)"
+)
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+#: Names that can appear inside a type annotation without naming a class.
+_ANN_NOISE = frozenset({"None", "Optional", "Union", "Sequence", "list",
+                        "dict", "tuple", "set", "str", "int", "float",
+                        "bool", "bytes"})
+
+_FUNC_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass(frozen=True)
+class LockField:
+    """One ``self.<name> = threading.<kind>()`` field of a class."""
+
+    name: str
+    kind: str
+    line: int
+
+
+@dataclass
+class WriteSite:
+    """One write to ``self.<attr>`` inside a method body."""
+
+    attr: str
+    method: str
+    line: int
+    col: int
+    end_line: int
+    #: Own-class lock fields lexically held (``with self.X:``) at the write.
+    locks: frozenset
+    #: ``"bind"`` rebinds the attribute; ``"mutate"`` changes the object
+    #: in place (subscript store, augmented assign, mutator-method call).
+    kind: str
+    in_init: bool
+
+
+@dataclass(frozen=True)
+class AcquireSite:
+    """One ``with self.<lock>:`` acquisition."""
+
+    lock: str
+    line: int
+    #: Own-class locks already lexically held when this one is taken.
+    held: tuple
+
+
+@dataclass
+class CallSite:
+    """One resolvable call observed inside a method body.
+
+    ``root_hint`` is ``None`` for ``self.…`` chains, otherwise the raw
+    type text of the chain's root (a parameter annotation, or a class
+    name for a direct constructor call).  Resolution against the index
+    happens in :meth:`ProjectIndex._resolve`.
+    """
+
+    root_hint: "str | None"
+    attrs: tuple
+    method: str
+    held: tuple
+    line: int
+    target: "tuple[str, str] | None" = None
+
+
+@dataclass(frozen=True)
+class PublishSite:
+    """One point where ``self.<attr>`` leaks to other threads."""
+
+    attr: str
+    method: str
+    line: int
+    #: ``"returned"`` (getter) or ``"stored"`` (into a published tuple).
+    how: str
+
+
+@dataclass(frozen=True)
+class PrimitiveSite:
+    """One ``threading.<kind>()`` constructor call."""
+
+    kind: str
+    path: str
+    line: int
+    col: int
+    end_line: int
+    #: Human description of where it runs ("module scope", "class body",
+    #: "ClassName.__init__", "ClassName.method", "function f").
+    context: str
+    allowed: bool
+
+
+@dataclass
+class MethodRecord:
+    """Per-method facts collected by the class scanner."""
+
+    name: str
+    is_init: bool
+    line: int
+    acquires: "list[AcquireSite]" = field(default_factory=list)
+    calls: "list[CallSite]" = field(default_factory=list)
+
+
+@dataclass
+class ClassIndex:
+    """Everything the concurrency rules need to know about one class."""
+
+    name: str
+    module: str
+    path: str
+    line: int
+    lock_fields: "dict[str, LockField]" = field(default_factory=dict)
+    sem_fields: "dict[str, LockField]" = field(default_factory=dict)
+    methods: "dict[str, MethodRecord]" = field(default_factory=dict)
+    writes: "list[WriteSite]" = field(default_factory=list)
+    publishes: "list[PublishSite]" = field(default_factory=list)
+    #: ``#: guarded-by:`` annotations, attribute name -> lock field name.
+    annotations: "dict[str, str]" = field(default_factory=dict)
+    #: Attribute name -> raw type text (from ``self.x = Cls(...)`` or an
+    #: annotated constructor parameter assigned through).
+    field_types: "dict[str, str]" = field(default_factory=dict)
+
+    def qualify(self, lock: str) -> str:
+        return f"{self.name}.{lock}"
+
+
+@dataclass
+class GuardInfo:
+    """The inferred (or annotated) guard of one attribute."""
+
+    attr: str
+    guard: "str | None"
+    source: str  # "annotation" | "inference"
+    unguarded: "list[WriteSite]"
+    unknown_lock: bool = False
+
+
+class _MethodScan:
+    """Held-lock-tracking walk of one method body.
+
+    Statements are walked recursively so the lexical lock state is exact
+    through ``with``/``if``/``for``/``try``/``match`` nesting (including
+    multi-item and parenthesized ``with (a, b):`` forms); nested function
+    and class definitions open new scopes and are only scanned for
+    primitive constructors (RL104), never for writes.
+    """
+
+    def __init__(self, cls: ClassIndex, record: MethodRecord,
+                 params: "dict[str, str]", refs: "set[str]",
+                 primitives: "list[PrimitiveSite]",
+                 comments: "dict[int, str]") -> None:
+        self.cls = cls
+        self.record = record
+        self.params = params
+        self.refs = refs
+        self.primitives = primitives
+        self.comments = comments
+        self.held: "list[str]" = []
+
+    # -- statements ----------------------------------------------------
+
+    def block(self, stmts: "Iterable[ast.stmt]") -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, _FUNC_DEFS):
+            for deco in node.decorator_list:
+                self.expr(deco)
+            _scan_primitives(
+                node, self.cls.path,
+                f"{self.cls.name}.{self.record.name}", allowed=False,
+                out=self.primitives,
+            )
+            return
+        if isinstance(node, ast.ClassDef):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = 0
+            for item in node.items:
+                lock = self._self_lock(item.context_expr)
+                if lock is not None:
+                    self.record.acquires.append(AcquireSite(
+                        lock=lock, line=item.context_expr.lineno,
+                        held=tuple(self.held),
+                    ))
+                    self.held.append(lock)
+                    acquired += 1
+                else:
+                    self.expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self.target(item.optional_vars, node)
+            self.block(node.body)
+            for _ in range(acquired):
+                self.held.pop()
+            return
+        if isinstance(node, (ast.If, ast.While)):
+            self.expr(node.test)
+            self.block(node.body)
+            self.block(node.orelse)
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self.target(node.target, node)
+            self.expr(node.iter)
+            self.block(node.body)
+            self.block(node.orelse)
+            return
+        if isinstance(node, ast.Try) or node.__class__.__name__ == "TryStar":
+            self.block(node.body)
+            for handler in node.handlers:
+                self.block(handler.body)
+            self.block(node.orelse)
+            self.block(node.finalbody)
+            return
+        if isinstance(node, ast.Match):
+            self.expr(node.subject)
+            for case in node.cases:
+                if case.guard is not None:
+                    self.expr(case.guard)
+                self.block(case.body)
+            return
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                self.target(tgt, node)
+            self._tuple_publish(node)
+            self.expr(node.value)
+            return
+        if isinstance(node, ast.AnnAssign):
+            self.target(node.target, node)
+            if node.value is not None:
+                self.expr(node.value)
+            return
+        if isinstance(node, ast.AugAssign):
+            attr = self._self_attr(node.target)
+            if attr is not None:
+                self.write(attr, node, kind="mutate")
+            elif (isinstance(node.target, ast.Subscript)
+                    and self._self_attr(node.target.value) is not None):
+                self.write(self._self_attr(node.target.value), node,
+                           kind="mutate")
+                self.expr(node.target.slice)
+            else:
+                self.expr(node.target)
+            self.expr(node.value)
+            return
+        if isinstance(node, ast.Delete):
+            for tgt in node.targets:
+                if (isinstance(tgt, ast.Subscript)
+                        and self._self_attr(tgt.value) is not None):
+                    self.write(self._self_attr(tgt.value), node,
+                               kind="mutate")
+                    self.expr(tgt.slice)
+                else:
+                    attr = self._self_attr(tgt)
+                    if attr is not None:
+                        self.write(attr, node, kind="bind")
+                    else:
+                        self.expr(tgt)
+            return
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                self._return_publish(node.value)
+                self.expr(node.value)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child)
+
+    # -- assignment targets --------------------------------------------
+
+    def target(self, node: ast.expr, stmt: ast.stmt) -> None:
+        attr = self._self_attr(node)
+        if attr is not None:
+            self.write(attr, stmt, kind="bind")
+            self._annotate(attr, stmt)
+            return
+        if isinstance(node, ast.Subscript):
+            base = self._self_attr(node.value)
+            if base is not None:
+                self.write(base, stmt, kind="mutate")
+            else:
+                self.expr(node.value)
+            self.expr(node.slice)
+            return
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for elt in node.elts:
+                self.target(elt, stmt)
+            return
+        if isinstance(node, ast.Starred):
+            self.target(node.value, stmt)
+            return
+        if not isinstance(node, ast.Name):
+            self.expr(node)
+
+    # -- expressions ---------------------------------------------------
+
+    def expr(self, node: "ast.expr | None", callee: bool = False) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Call):
+            self._call(node)
+            self.expr(node.func, callee=True)
+            for arg in node.args:
+                self.expr(arg)
+            for kw in node.keywords:
+                self.expr(kw.value)
+            return
+        if isinstance(node, ast.Lambda):
+            for default in node.args.defaults + node.args.kw_defaults:
+                self.expr(default)
+            return
+        if isinstance(node, ast.Attribute):
+            if not callee and _is_self(node.value):
+                self.refs.add(node.attr)
+            self.expr(node.value)
+            return
+        if isinstance(node, ast.NamedExpr):
+            self.target(node.target, node)
+            self.expr(node.value)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.expr(child)
+            elif isinstance(child, ast.comprehension):
+                self.expr(child.target)
+                self.expr(child.iter)
+                for cond in child.ifs:
+                    self.expr(cond)
+            elif isinstance(child, ast.keyword):
+                self.expr(child.value)
+
+    # -- recorders -----------------------------------------------------
+
+    def write(self, attr: str, node: ast.AST, kind: str) -> None:
+        self.cls.writes.append(WriteSite(
+            attr=attr,
+            method=self.record.name,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            end_line=getattr(node, "end_lineno", 0) or 0,
+            locks=frozenset(self.held),
+            kind=kind,
+            in_init=self.record.is_init,
+        ))
+
+    def _call(self, node: ast.Call) -> None:
+        kind = _primitive_kind(node)
+        if kind is not None:
+            context = f"{self.cls.name}.{self.record.name}"
+            self.primitives.append(PrimitiveSite(
+                kind=kind, path=self.cls.path, line=node.lineno,
+                col=node.col_offset + 1,
+                end_line=node.end_lineno or 0,
+                context=context, allowed=self.record.is_init,
+            ))
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (isinstance(base, ast.Attribute) and _is_self(base.value)
+                    and func.attr in MUTATOR_METHODS):
+                self.write(base.attr, node, kind="mutate")
+            chain = _attr_chain(func)
+            if chain is not None and len(chain) >= 2:
+                root = chain[0]
+                if root == "self":
+                    self.record.calls.append(CallSite(
+                        root_hint=None, attrs=tuple(chain[1:-1]),
+                        method=chain[-1], held=tuple(self.held),
+                        line=node.lineno,
+                    ))
+                elif root in self.params:
+                    self.record.calls.append(CallSite(
+                        root_hint=self.params[root],
+                        attrs=tuple(chain[1:-1]), method=chain[-1],
+                        held=tuple(self.held), line=node.lineno,
+                    ))
+        elif isinstance(func, ast.Name):
+            self.record.calls.append(CallSite(
+                root_hint=func.id, attrs=(), method="__init__",
+                held=tuple(self.held), line=node.lineno,
+            ))
+
+    def _tuple_publish(self, node: ast.Assign) -> None:
+        # `self._current = (..., self._chain)` publishes `_chain`: readers
+        # that resolved the tuple hold a reference to the attr's object.
+        stores_to_self = any(
+            self._self_attr(t) is not None for t in node.targets
+        )
+        if not stores_to_self or not isinstance(node.value, (ast.Tuple,
+                                                             ast.List)):
+            return
+        for elt in node.value.elts:
+            attr = self._self_attr(elt)
+            if attr is not None:
+                self.cls.publishes.append(PublishSite(
+                    attr=attr, method=self.record.name,
+                    line=node.lineno, how="stored",
+                ))
+
+    def _return_publish(self, value: ast.expr) -> None:
+        elts = (value.elts if isinstance(value, (ast.Tuple, ast.List))
+                else [value])
+        for elt in elts:
+            attr = self._self_attr(elt)
+            if attr is not None:
+                self.cls.publishes.append(PublishSite(
+                    attr=attr, method=self.record.name,
+                    line=elt.lineno, how="returned",
+                ))
+
+    def _annotate(self, attr: str, stmt: ast.stmt) -> None:
+        lock = _claim_comment(self.comments, stmt)
+        if lock is not None:
+            self.cls.annotations.setdefault(attr, lock)
+
+    # -- helpers -------------------------------------------------------
+
+    def _self_lock(self, node: ast.expr) -> "str | None":
+        attr = self._self_attr(node)
+        if attr is not None and attr in self.cls.lock_fields:
+            return attr
+        return None
+
+    @staticmethod
+    def _self_attr(node: ast.expr) -> "str | None":
+        if isinstance(node, ast.Attribute) and _is_self(node.value):
+            return node.attr
+        return None
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _attr_chain(func: ast.Attribute) -> "list[str] | None":
+    """``self.cache.put`` -> ``["self", "cache", "put"]`` (root first)."""
+    names = [func.attr]
+    value = func.value
+    while isinstance(value, ast.Attribute):
+        names.append(value.attr)
+        value = value.value
+    if not isinstance(value, ast.Name):
+        return None
+    names.append(value.id)
+    names.reverse()
+    return names
+
+
+def _primitive_kind(node: ast.Call) -> "str | None":
+    func = node.func
+    if (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "threading"
+            and func.attr in PRIMITIVE_KINDS):
+        return func.attr
+    return None
+
+
+def _annotation_text(node: "ast.expr | None") -> "str | None":
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - malformed annotation node
+        return None
+
+
+def _guard_comments(source: str) -> "dict[int, str]":
+    """Line number -> lock name for every ``#: guarded-by:`` comment."""
+    comments: "dict[int, str]" = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _GUARDED_BY_RE.search(text)
+        if match:
+            comments[lineno] = match.group("lock")
+    return comments
+
+
+def _claim_comment(comments: "dict[int, str]",
+                   stmt: ast.stmt) -> "str | None":
+    """Bind a guarded-by comment (same line, else line above) to ``stmt``.
+
+    The comment is *consumed*: a trailing comment on one assignment must
+    not also annotate whatever statement happens to sit on the next line.
+    """
+    for lineno in (stmt.lineno, stmt.lineno - 1):
+        lock = comments.pop(lineno, None)
+        if lock is not None:
+            return lock
+    return None
+
+
+def _scan_primitives(node: ast.AST, path: str, context: str, allowed: bool,
+                     out: "list[PrimitiveSite]") -> None:
+    """Record every ``threading.<kind>()`` call under ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            kind = _primitive_kind(sub)
+            if kind is not None:
+                out.append(PrimitiveSite(
+                    kind=kind, path=path, line=sub.lineno,
+                    col=sub.col_offset + 1,
+                    end_line=sub.end_lineno or 0,
+                    context=context, allowed=allowed,
+                ))
+
+
+def _method_params(node: ast.AST) -> "dict[str, str]":
+    """Parameter name -> raw annotation text (skipping ``self``)."""
+    params: "dict[str, str]" = {}
+    args = node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        if arg.arg == "self":
+            continue
+        text = _annotation_text(arg.annotation)
+        if text:
+            params[arg.arg] = text
+    return params
+
+
+class _ClassScan:
+    """Two sub-passes over one class body.
+
+    The pre-scan finds lock/semaphore fields, field types, and the method
+    table (lock fields must be known before ``with self._lock:`` can be
+    recognised as an acquisition); the main pass then runs
+    :class:`_MethodScan` over every method.
+    """
+
+    def __init__(self, node: ast.ClassDef, ctx: FileContext,
+                 comments: "dict[int, str]", refs: "set[str]",
+                 primitives: "list[PrimitiveSite]") -> None:
+        self.node = node
+        self.ctx = ctx
+        self.comments = comments
+        self.refs = refs
+        self.primitives = primitives
+        self.cls = ClassIndex(
+            name=node.name, module=ctx.package_rel, path=ctx.display,
+            line=node.lineno,
+        )
+
+    def scan(self) -> ClassIndex:
+        self._prescan()
+        for stmt in self.node.body:
+            if isinstance(stmt, _FUNC_DEFS):
+                record = self.cls.methods[stmt.name]
+                walker = _MethodScan(
+                    self.cls, record, _method_params(stmt), self.refs,
+                    self.primitives, self.comments,
+                )
+                walker.block(stmt.body)
+            elif isinstance(stmt, ast.ClassDef):
+                continue  # nested classes are out of scope
+            else:
+                _scan_primitives(stmt, self.ctx.display, "class body",
+                                 allowed=True, out=self.primitives)
+        return self.cls
+
+    def _prescan(self) -> None:
+        for stmt in self.node.body:
+            if isinstance(stmt, _FUNC_DEFS):
+                self.cls.methods[stmt.name] = MethodRecord(
+                    name=stmt.name,
+                    is_init=stmt.name == "__init__",
+                    line=stmt.lineno,
+                )
+                params = _method_params(stmt)
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Assign):
+                        self._field_assign(sub, params)
+            elif (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                lock = _claim_comment(self.comments, stmt)
+                if lock is not None:
+                    self.cls.annotations.setdefault(stmt.target.id, lock)
+
+    def _field_assign(self, node: ast.Assign,
+                      params: "dict[str, str]") -> None:
+        for tgt in node.targets:
+            if not (isinstance(tgt, ast.Attribute) and _is_self(tgt.value)):
+                continue
+            name = tgt.attr
+            value = node.value
+            if isinstance(value, ast.Call):
+                kind = _primitive_kind(value)
+                if kind in LOCK_KINDS:
+                    self.cls.lock_fields.setdefault(
+                        name, LockField(name, kind, node.lineno))
+                    continue
+                if kind is not None:
+                    self.cls.sem_fields.setdefault(
+                        name, LockField(name, kind, node.lineno))
+                    continue
+                ctor = value.func
+                if isinstance(ctor, ast.Name):
+                    self.cls.field_types.setdefault(name, ctor.id)
+                elif isinstance(ctor, ast.Attribute):
+                    self.cls.field_types.setdefault(name, ctor.attr)
+            elif isinstance(value, ast.Name) and value.id in params:
+                self.cls.field_types.setdefault(name, params[value.id])
+
+
+class ProjectIndex:
+    """The resolved whole-project symbol table."""
+
+    def __init__(self) -> None:
+        self.classes: "dict[str, ClassIndex]" = {}
+        self.primitives: "list[PrimitiveSite]" = []
+        #: Names referenced as bare ``self.<name>`` anywhere (escapes).
+        self.refs: "set[str]" = set()
+        self._ambiguous: "set[str]" = set()
+        #: ``(class, method)`` -> qualified entry lockset.
+        self.entry_locks: "dict[tuple[str, str], frozenset]" = {}
+        #: Qualified lock-order edges ``(before, after)`` -> witness.
+        self.edges: "dict[tuple[str, str], str]" = {}
+
+    # -- construction --------------------------------------------------
+
+    def add_module(self, ctx: FileContext) -> None:
+        comments = _guard_comments(ctx.source)
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                scan = _ClassScan(stmt, ctx, comments, self.refs,
+                                  self.primitives)
+                cls = scan.scan()
+                if cls.name in self.classes:
+                    self._ambiguous.add(cls.name)
+                else:
+                    self.classes[cls.name] = cls
+            elif isinstance(stmt, _FUNC_DEFS):
+                _scan_primitives(stmt, ctx.display, f"function {stmt.name}",
+                                 allowed=False, out=self.primitives)
+            else:
+                _scan_primitives(stmt, ctx.display, "module scope",
+                                 allowed=True, out=self.primitives)
+
+    def finalize(self) -> None:
+        self._resolve_types()
+        self._resolve_calls()
+        self._entry_fixed_point()
+        self._build_lock_graph()
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve_type(self, text: "str | None") -> "ClassIndex | None":
+        """Map raw annotation text to an unambiguous indexed class."""
+        if not text:
+            return None
+        for token in _IDENT_RE.findall(text):
+            if token in _ANN_NOISE or token in self._ambiguous:
+                continue
+            cls = self.classes.get(token)
+            if cls is not None:
+                return cls
+        return None
+
+    def _resolve_types(self) -> None:
+        for cls in self.classes.values():
+            resolved = {}
+            for attr, text in cls.field_types.items():
+                target = self.resolve_type(text)
+                if target is not None:
+                    resolved[attr] = target.name
+            cls.field_types = resolved
+
+    def _resolve_calls(self) -> None:
+        for cls in self.classes.values():
+            for record in cls.methods.values():
+                for call in record.calls:
+                    call.target = self._resolve_call(cls, call)
+
+    def _resolve_call(self, cls: ClassIndex,
+                      call: CallSite) -> "tuple[str, str] | None":
+        if call.root_hint is None:
+            current = cls
+        else:
+            current = self.resolve_type(call.root_hint)
+            if current is None:
+                return None
+            if call.method == "__init__" and not call.attrs:
+                # Direct constructor: Name(...) resolved to a class.
+                # Dataclasses and the like have no explicit __init__.
+                if "__init__" in current.methods:
+                    return (current.name, "__init__")
+                return None
+        for attr in call.attrs:
+            next_name = current.field_types.get(attr)
+            if next_name is None:
+                return None
+            current = self.classes[next_name]
+        if call.method in current.methods:
+            return (current.name, call.method)
+        return None
+
+    # -- entry locksets ------------------------------------------------
+
+    def _qualified(self, cls: ClassIndex, locks: Iterable) -> frozenset:
+        return frozenset(cls.qualify(lock) for lock in locks)
+
+    def _entry_fixed_point(self) -> None:
+        all_locks = frozenset(
+            cls.qualify(lock)
+            for cls in self.classes.values() for lock in cls.lock_fields
+        )
+        sites: "dict[tuple[str, str], list]" = {}
+        for cls in self.classes.values():
+            for record in cls.methods.values():
+                for call in record.calls:
+                    if call.target is None:
+                        continue
+                    sites.setdefault(call.target, []).append(
+                        ((cls.name, record.name),
+                         self._qualified(cls, call.held)),
+                    )
+        entry: "dict[tuple[str, str], frozenset]" = {}
+        for cls in self.classes.values():
+            for record in cls.methods.values():
+                key = (cls.name, record.name)
+                eligible = (
+                    record.name.startswith("_")
+                    and not record.name.startswith("__")
+                    and record.name not in self.refs
+                    and key in sites
+                )
+                entry[key] = all_locks if eligible else frozenset()
+        changed = True
+        while changed:
+            changed = False
+            for key in sorted(entry):
+                if not entry[key]:
+                    continue
+                incoming = [
+                    held | entry.get(caller, frozenset())
+                    for caller, held in sites.get(key, [])
+                ]
+                new = frozenset.intersection(*incoming) if incoming \
+                    else frozenset()
+                if new != entry[key]:
+                    entry[key] = new
+                    changed = True
+        self.entry_locks = entry
+
+    def effective_locks(self, cls: ClassIndex,
+                        write: WriteSite) -> frozenset:
+        """Own-class lock names held at ``write`` (lexical + entry)."""
+        entry = self.entry_locks.get((cls.name, write.method), frozenset())
+        prefix = cls.name + "."
+        inherited = {
+            lock.split(".", 1)[1]
+            for lock in entry if lock.startswith(prefix)
+        }
+        return frozenset(write.locks | (inherited & cls.lock_fields.keys()))
+
+    # -- the static lock-acquisition graph -----------------------------
+
+    def _reachable_locks(self, key: "tuple[str, str]",
+                         memo: dict, active: set) -> frozenset:
+        if key in memo:
+            return memo[key]
+        if key in active:
+            return frozenset()
+        active.add(key)
+        cls = self.classes.get(key[0])
+        record = cls.methods.get(key[1]) if cls is not None else None
+        if record is None:  # pragma: no cover - unresolved target
+            active.discard(key)
+            return frozenset()
+        locks = {cls.qualify(a.lock) for a in record.acquires}
+        for call in record.calls:
+            if call.target is not None:
+                locks |= self._reachable_locks(call.target, memo, active)
+        active.discard(key)
+        memo[key] = frozenset(locks)
+        return memo[key]
+
+    def _build_lock_graph(self) -> None:
+        memo: dict = {}
+        for cls in sorted(self.classes.values(), key=lambda c: c.name):
+            for name in sorted(cls.methods):
+                record = cls.methods[name]
+                key = (cls.name, name)
+                entry = self.entry_locks.get(key, frozenset())
+                for acq in record.acquires:
+                    after = cls.qualify(acq.lock)
+                    is_rlock = cls.lock_fields[acq.lock].kind == "RLock"
+                    for before in entry | self._qualified(cls, acq.held):
+                        if before == after and is_rlock:
+                            continue
+                        self.edges.setdefault(
+                            (before, after), f"{cls.path}:{acq.line}")
+                for call in record.calls:
+                    if call.target is None:
+                        continue
+                    priors = entry | self._qualified(cls, call.held)
+                    if not priors:
+                        continue
+                    for after in self._reachable_locks(call.target, memo,
+                                                       set()):
+                        for before in priors:
+                            if before == after:
+                                continue  # re-entry via calls, not an order
+                            self.edges.setdefault(
+                                (before, after), f"{cls.path}:{call.line}")
+
+    def lock_edges(self) -> "list[tuple[str, str, str]]":
+        """The acquisition graph as sorted ``(before, after, site)``."""
+        return sorted(
+            (before, after, site)
+            for (before, after), site in self.edges.items()
+        )
+
+    def lock_cycles(self) -> "list[tuple[tuple, list]]":
+        """Cycles in the acquisition graph: ``(nodes, witness edges)``.
+
+        Nodes are qualified lock names; witness edges are
+        ``(before, after, site)`` triples, sorted, one list per strongly
+        connected component that contains a cycle (Kosaraju).
+        """
+        graph: "dict[str, list[str]]" = {}
+        reverse: "dict[str, list[str]]" = {}
+        for before, after in self.edges:
+            graph.setdefault(before, []).append(after)
+            graph.setdefault(after, [])
+            reverse.setdefault(after, []).append(before)
+            reverse.setdefault(before, [])
+        order: "list[str]" = []
+        visited: "set[str]" = set()
+        for start in sorted(graph):
+            if start in visited:
+                continue
+            stack = [(start, iter(sorted(graph[start])))]
+            visited.add(start)
+            while stack:
+                node, it = stack[-1]
+                for nxt in it:
+                    if nxt not in visited:
+                        visited.add(nxt)
+                        stack.append((nxt, iter(sorted(graph[nxt]))))
+                        break
+                else:
+                    order.append(node)
+                    stack.pop()
+        assigned: "set[str]" = set()
+        cycles: "list[tuple[tuple, list]]" = []
+        for node in reversed(order):
+            if node in assigned:
+                continue
+            members: "list[str]" = []
+            stack = [node]
+            while stack:
+                current = stack.pop()
+                if current in assigned:
+                    continue
+                assigned.add(current)
+                members.append(current)
+                stack.extend(reverse[current])
+            if len(members) > 1 or (node, node) in self.edges:
+                member_set = set(members)
+                witness = sorted(
+                    (before, after, site)
+                    for (before, after), site in self.edges.items()
+                    if before in member_set and after in member_set
+                )
+                cycles.append((tuple(sorted(members)), witness))
+        return sorted(cycles)
+
+    # -- guard inference -----------------------------------------------
+
+    def class_guards(self, cls: ClassIndex) -> "list[GuardInfo]":
+        """Guard info for every attribute of a lock-owning class."""
+        if not cls.lock_fields:
+            return []
+        attrs = sorted(
+            {w.attr for w in cls.writes} | set(cls.annotations)
+        )
+        guards: "list[GuardInfo]" = []
+        for attr in attrs:
+            non_init = [
+                w for w in cls.writes
+                if w.attr == attr and not w.in_init
+            ]
+            annotated = cls.annotations.get(attr)
+            if annotated is not None:
+                guard: "str | None" = annotated
+                source = "annotation"
+                unknown = annotated not in cls.lock_fields
+            else:
+                unknown = False
+                source = "inference"
+                counts: "dict[str, int]" = {}
+                for write in non_init:
+                    for lock in self.effective_locks(cls, write):
+                        counts[lock] = counts.get(lock, 0) + 1
+                if not counts:
+                    continue  # never guarded: unguarded by design
+                guard = min(counts, key=lambda k: (-counts[k], k))
+            unguarded = [
+                w for w in non_init
+                if guard not in self.effective_locks(cls, w)
+            ] if guard in cls.lock_fields else []
+            guards.append(GuardInfo(
+                attr=attr, guard=guard, source=source,
+                unguarded=unguarded, unknown_lock=unknown,
+            ))
+        return guards
+
+    def guard_map(self) -> "dict[str, dict[str, str]]":
+        """``{class: {attr: guarding lock field}}`` for lock-owning classes."""
+        result: "dict[str, dict[str, str]]" = {}
+        for name in sorted(self.classes):
+            cls = self.classes[name]
+            if not cls.lock_fields:
+                continue
+            guards = {
+                info.attr: info.guard
+                for info in self.class_guards(cls)
+                if info.guard is not None and not info.unknown_lock
+            }
+            result[name] = guards
+        return result
+
+
+def build_index(contexts: "Iterable[FileContext]") -> ProjectIndex:
+    """Index a set of parsed files and resolve cross-module facts."""
+    index = ProjectIndex()
+    for ctx in sorted(contexts, key=lambda c: c.display):
+        index.add_module(ctx)
+    index.finalize()
+    return index
+
+
+def build_index_for_paths(paths: "Iterable[Path]") -> ProjectIndex:
+    """Convenience wrapper: parse ``paths`` and index them."""
+    from .engine import collect_files
+
+    parsed = collect_files(paths)
+    return build_index(pf.ctx for pf in parsed if pf.ctx is not None)

@@ -1,4 +1,25 @@
-"""Violation reporters: plain text (one line per hit) and JSON."""
+"""Violation reporters: plain text (one line per hit) and JSON.
+
+The JSON schema is versioned so CI diffs and downstream tooling can rely
+on it (documented in ``docs/static-analysis.md``)::
+
+    {
+      "schema_version": 2,
+      "count": <int>,
+      "tally": {"<rule id>": <int>, ...},     # sorted by rule id
+      "violations": [
+        {"path": ..., "line": ..., "col": ..., "rule": ..., "message": ...},
+        ...
+      ]
+    }
+
+Violations are emitted in the engine's stable sort order
+(``path, line, col, rule``) and all object keys are sorted, so two runs
+over the same tree produce byte-identical reports.
+
+Schema history: version 2 added ``schema_version`` and ``tally``;
+version 1 (unversioned) had only ``count`` and ``violations``.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +29,10 @@ from typing import Iterable
 
 from .engine import Violation
 
-__all__ = ["render_text", "render_json", "REPORTERS"]
+__all__ = ["JSON_SCHEMA_VERSION", "render_text", "render_json", "REPORTERS"]
+
+#: Bumped whenever a field is added, removed, or changes meaning.
+JSON_SCHEMA_VERSION = 2
 
 
 def render_text(violations: Iterable[Violation]) -> str:
@@ -30,11 +54,14 @@ def render_text(violations: Iterable[Violation]) -> str:
 
 
 def render_json(violations: Iterable[Violation]) -> str:
-    """Machine-readable report: ``{"count": N, "violations": [...]}``."""
+    """Machine-readable report; see the module docstring for the schema."""
     violations = list(violations)
+    tally = Counter(v.rule_id for v in violations)
     return json.dumps(
         {
+            "schema_version": JSON_SCHEMA_VERSION,
             "count": len(violations),
+            "tally": {rule: tally[rule] for rule in sorted(tally)},
             "violations": [v.as_dict() for v in violations],
         },
         indent=2,

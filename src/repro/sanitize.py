@@ -1,0 +1,454 @@
+"""Runtime lock-discipline sanitizer for the serving layer.
+
+The static pass (:mod:`repro.lint.concurrency`) infers the guard map and
+the lock-acquisition order from ``with`` scopes; this module is its
+runtime cross-check.  :func:`install_sanitizer` patches
+``threading.Lock``/``threading.RLock`` with factories that hand
+repro-internal callers a :class:`SanitizedLock` — a transparent wrapper
+that records, per thread, the stack of sanitized locks held and, on every
+acquisition, adds an edge to an observed lock-order graph.  Three
+violation kinds are detected:
+
+``inversion``
+    Acquiring B while holding A after some thread has acquired A while
+    holding B (more generally: the new edge closes a cycle in the
+    observed order graph).  This is the runtime twin of RL102 — but over
+    *creation sites*, so two instances of the same class acquired in
+    opposite orders by two threads are caught even though no single run
+    deadlocked.
+``self-deadlock``
+    Re-acquiring a held non-reentrant lock on the same thread.  The real
+    ``threading.Lock`` would block forever; the sanitizer raises
+    :class:`LockDisciplineError` immediately instead.
+``held-across-publish``
+    Entering a publication point (``ModelCache.put``,
+    ``InfluenceService._publish_epoch``) while holding a pool or cache
+    lock.  Publication must not nest inside finer-grained serving locks —
+    that is how the static edge set stays acyclic.
+
+Locks are labelled by creation site (``module.qualname:line``), so the
+witness dump reads like a stack trace.  Only locks created by modules
+matching the installed prefixes (default ``repro.``) are wrapped; stdlib
+and test-framework locks pass through untouched.
+
+Usage (as wired into the threaded test suites by ``tests/conftest.py``)::
+
+    sanitizer = install_sanitizer()
+    try:
+        ...  # run threaded serving code
+        sanitizer.assert_clean()   # raises with a witness dump on violation
+    finally:
+        uninstall_sanitizer(sanitizer)
+
+The sanitizer is a test harness, not a production feature: wrappers stay
+functional after :func:`uninstall_sanitizer` (objects created during the
+window keep working), but new locks are real again.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+
+from .errors import ReproError
+
+__all__ = [
+    "LockDisciplineError",
+    "LockViolation",
+    "SanitizedLock",
+    "LockSanitizer",
+    "install_sanitizer",
+    "uninstall_sanitizer",
+    "current_sanitizer",
+]
+
+#: Lock creation-site modules that must never be held across publication.
+PUBLISH_FORBIDDEN_MODULES = ("repro.serve.pool", "repro.serve.cache")
+
+
+class LockDisciplineError(ReproError):
+    """A lock-discipline violation observed at runtime."""
+
+
+@dataclass(frozen=True)
+class LockViolation:
+    """One recorded violation; ``witness`` lists the evidencing edges."""
+
+    kind: str  # "inversion" | "self-deadlock" | "held-across-publish"
+    message: str
+    witness: "tuple[str, ...]"
+
+    def render(self) -> str:
+        lines = [f"[{self.kind}] {self.message}"]
+        lines.extend(f"    {entry}" for entry in self.witness)
+        return "\n".join(lines)
+
+
+class SanitizedLock:
+    """Drop-in ``Lock``/``RLock`` that reports into a :class:`LockSanitizer`.
+
+    ``site`` is the creation-site label — the node identity in the
+    observed order graph.  Two locks created on the same source line share
+    a node: that is deliberate, it is what lets an ABBA inversion between
+    two *instances* of the same class be recognised as one ordering bug.
+    """
+
+    __slots__ = ("_sanitizer", "_inner", "_reentrant", "site", "module",
+                 "_owner", "_count")
+
+    def __init__(self, sanitizer: "LockSanitizer", inner: object,
+                 reentrant: bool, site: str, module: str) -> None:
+        self._sanitizer = sanitizer
+        self._inner = inner
+        self._reentrant = reentrant
+        self.site = site
+        self.module = module
+        self._owner: "int | None" = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        me = threading.get_ident()
+        if self._owner == me:
+            if not self._reentrant:
+                self._sanitizer.record_self_deadlock(self)
+                raise LockDisciplineError(
+                    f"re-acquiring non-reentrant lock {self.site} on the "
+                    f"same thread would deadlock"
+                )
+        else:
+            self._sanitizer.before_acquire(self)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._owner = me
+            self._count += 1
+            self._sanitizer.push_held(self)
+        return ok
+
+    def release(self) -> None:
+        self._count -= 1
+        if self._count <= 0:
+            self._owner = None
+            self._count = 0
+        self._sanitizer.pop_held(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        probe = getattr(self._inner, "locked", None)
+        if probe is not None:
+            return bool(probe())
+        return self._owner is not None  # RLock on older pythons
+
+    def __enter__(self) -> bool:
+        self.acquire()
+        return True
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SanitizedLock {self.site} reentrant={self._reentrant}>"
+
+
+class LockSanitizer:
+    """Observes sanitized-lock activity and records discipline violations.
+
+    All graph state is guarded by one real (unsanitized) internal lock;
+    the per-thread held stack lives in a ``threading.local``.  Violations
+    are deduplicated by kind and witness so a hot loop reports each
+    distinct bug once.
+    """
+
+    def __init__(self, prefixes: "tuple[str, ...]" = ("repro.",)) -> None:
+        self.prefixes = prefixes
+        self._graph_lock = threading.Lock()
+        self._tls = threading.local()
+        #: Observed order edges: (site A, site B) -> first witness text.
+        self._edges: "dict[tuple[str, str], str]" = {}
+        self._violations: "list[LockViolation]" = []
+        self._seen: "set[tuple]" = set()
+        self._patches: "list[tuple[object, str, object]]" = []
+        self._orig_lock = None
+        self._orig_rlock = None
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def violations(self) -> "tuple[LockViolation, ...]":
+        with self._graph_lock:
+            return tuple(self._violations)
+
+    def edges(self) -> "list[tuple[str, str, str]]":
+        """The observed order graph as sorted (before, after, witness)."""
+        with self._graph_lock:
+            items = list(self._edges.items())
+        return sorted((a, b, w) for (a, b), w in items)
+
+    def report(self) -> str:
+        """Violations plus the observed lock-order witness, rendered."""
+        violations = self.violations
+        lines = [
+            f"lock sanitizer: {len(violations)} violation"
+            f"{'s' if len(violations) != 1 else ''}"
+        ]
+        lines.extend(v.render() for v in violations)
+        lines.append("observed lock-order edges:")
+        edges = self.edges()
+        if not edges:
+            lines.append("    (none)")
+        for before, after, witness in edges:
+            lines.append(f"    {before} -> {after}   [{witness}]")
+        return "\n".join(lines)
+
+    def assert_clean(self) -> None:
+        """Raise :class:`LockDisciplineError` if any violation was seen."""
+        if self.violations:
+            raise LockDisciplineError(self.report())
+
+    # -- held-stack bookkeeping ----------------------------------------
+
+    def _held(self) -> "list[SanitizedLock]":
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held_now(self) -> "tuple[SanitizedLock, ...]":
+        """Sanitized locks held by the calling thread, oldest first."""
+        return tuple(self._held())
+
+    def push_held(self, lock: SanitizedLock) -> None:
+        self._held().append(lock)
+
+    def pop_held(self, lock: SanitizedLock) -> None:
+        stack = self._held()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is lock:
+                del stack[i]
+                return
+
+    # -- detection -----------------------------------------------------
+
+    def before_acquire(self, lock: SanitizedLock) -> None:
+        held = self._held()
+        if not held:
+            return
+        where = _caller_site()
+        with self._graph_lock:
+            for prior in held:
+                if prior.site == lock.site:
+                    self._record(LockViolation(
+                        kind="inversion",
+                        message=(
+                            f"acquiring {lock.site} while already holding "
+                            f"a lock from the same creation site (no "
+                            f"consistent order can exist between peers)"
+                        ),
+                        witness=(f"at {where}",),
+                    ), key=("peer", lock.site))
+                    continue
+                cycle = self._path(lock.site, prior.site)
+                if cycle is not None:
+                    chain = " -> ".join(cycle + [lock.site])
+                    evidence = tuple(
+                        f"{a} -> {b}   [{self._edges[(a, b)]}]"
+                        for a, b in zip(cycle, cycle[1:] + [lock.site])
+                        if (a, b) in self._edges
+                    )
+                    self._record(LockViolation(
+                        kind="inversion",
+                        message=(
+                            f"acquiring {lock.site} while holding "
+                            f"{prior.site} inverts the observed order "
+                            f"{chain}"
+                        ),
+                        witness=evidence + (f"now: {prior.site} -> "
+                                            f"{lock.site} at {where}",),
+                    ), key=("inversion", prior.site, lock.site))
+                self._edges.setdefault((prior.site, lock.site), where)
+
+    def record_self_deadlock(self, lock: SanitizedLock) -> None:
+        where = _caller_site()
+        with self._graph_lock:
+            self._record(LockViolation(
+                kind="self-deadlock",
+                message=(
+                    f"non-reentrant lock {lock.site} re-acquired on the "
+                    f"thread that already holds it"
+                ),
+                witness=(f"at {where}",),
+            ), key=("self", lock.site, where))
+
+    def check_publish(self, label: str) -> None:
+        """Record a violation if a forbidden lock is held entering ``label``."""
+        bad = [
+            lock for lock in self._held()
+            if lock.module.startswith(PUBLISH_FORBIDDEN_MODULES)
+        ]
+        if not bad:
+            return
+        where = _caller_site()
+        with self._graph_lock:
+            for lock in bad:
+                self._record(LockViolation(
+                    kind="held-across-publish",
+                    message=(
+                        f"{label} entered while holding {lock.site}; "
+                        f"publication must not nest inside pool/cache locks"
+                    ),
+                    witness=(f"at {where}",),
+                ), key=("publish", label, lock.site))
+
+    def _record(self, violation: LockViolation, key: tuple) -> None:
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._violations.append(violation)
+
+    def _path(self, start: str, goal: str) -> "list[str] | None":
+        """A path ``start -> ... -> goal`` in the edge graph, if any."""
+        if start == goal:
+            return [start]
+        stack = [(start, [start])]
+        visited = {start}
+        adjacency: "dict[str, list[str]]" = {}
+        for before, after in self._edges:
+            adjacency.setdefault(before, []).append(after)
+        while stack:
+            node, path = stack.pop()
+            for nxt in adjacency.get(node, ()):
+                if nxt == goal:
+                    return path + [nxt]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- lock construction ---------------------------------------------
+
+    def make_lock(self, label: "str | None" = None,
+                  reentrant: bool = False,
+                  module: str = "<explicit>") -> SanitizedLock:
+        """Construct a sanitized lock directly (self-tests, fixtures)."""
+        factory = self._orig_lock or threading.Lock
+        if reentrant:
+            factory = self._orig_rlock or threading.RLock
+        site = label if label is not None else _caller_site()
+        return SanitizedLock(self, factory(), reentrant=reentrant,
+                             site=site, module=module)
+
+    # -- installation --------------------------------------------------
+
+    def patch_threading(self) -> None:
+        """Swap ``threading.Lock``/``RLock`` for filtering factories."""
+        self._orig_lock = threading.Lock
+        self._orig_rlock = threading.RLock
+        sanitizer = self
+
+        def lock_factory():
+            frame = sys._getframe(1)
+            module = frame.f_globals.get("__name__", "")
+            if module.startswith(sanitizer.prefixes):
+                site = (f"{module}.{frame.f_code.co_qualname}:"
+                        f"{frame.f_lineno}")
+                return SanitizedLock(sanitizer, sanitizer._orig_lock(),
+                                     reentrant=False, site=site,
+                                     module=module)
+            return sanitizer._orig_lock()
+
+        def rlock_factory():
+            frame = sys._getframe(1)
+            module = frame.f_globals.get("__name__", "")
+            if module.startswith(sanitizer.prefixes):
+                site = (f"{module}.{frame.f_code.co_qualname}:"
+                        f"{frame.f_lineno}")
+                return SanitizedLock(sanitizer, sanitizer._orig_rlock(),
+                                     reentrant=True, site=site,
+                                     module=module)
+            return sanitizer._orig_rlock()
+
+        self._patches.append((threading, "Lock", threading.Lock))
+        self._patches.append((threading, "RLock", threading.RLock))
+        threading.Lock = lock_factory  # type: ignore[assignment]
+        threading.RLock = rlock_factory  # type: ignore[assignment]
+
+    def patch_publish_points(self) -> None:
+        """Wrap the serve-layer publication points with held-lock checks."""
+        from .serve.cache import ModelCache
+        from .serve.service import InfluenceService
+
+        self._wrap_method(ModelCache, "put", "ModelCache.put")
+        self._wrap_method(InfluenceService, "_publish_epoch",
+                          "InfluenceService._publish_epoch")
+
+    def _wrap_method(self, cls: type, name: str, label: str) -> None:
+        original = getattr(cls, name)
+        sanitizer = self
+
+        def wrapper(*args, **kwargs):
+            sanitizer.check_publish(label)
+            return original(*args, **kwargs)
+
+        wrapper.__name__ = getattr(original, "__name__", name)
+        wrapper.__wrapped__ = original  # type: ignore[attr-defined]
+        self._patches.append((cls, name, original))
+        setattr(cls, name, wrapper)
+
+    def unpatch(self) -> None:
+        """Restore everything :meth:`patch_threading`/publish patched."""
+        while self._patches:
+            target, name, original = self._patches.pop()
+            setattr(target, name, original)
+
+
+def _caller_site() -> str:
+    """First stack frame outside this module, as ``module:line (func)``."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+    if frame is None:  # pragma: no cover - interpreter internals
+        return "<unknown>"
+    module = frame.f_globals.get("__name__", "<unknown>")
+    return f"{module}:{frame.f_lineno} ({frame.f_code.co_name})"
+
+
+_ACTIVE: "LockSanitizer | None" = None
+
+
+def current_sanitizer() -> "LockSanitizer | None":
+    """The installed sanitizer, if any."""
+    return _ACTIVE
+
+
+def install_sanitizer(prefixes: "tuple[str, ...]" = ("repro.",),
+                      patch_threading: bool = True,
+                      patch_publish: bool = True) -> LockSanitizer:
+    """Install a process-wide sanitizer and return it.
+
+    Exactly one sanitizer may be active; install/uninstall in pairs (the
+    test fixture does this around every threaded test).  With
+    ``patch_threading`` off, no global patching happens — locks are then
+    created explicitly via :meth:`LockSanitizer.make_lock` (self-tests).
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise LockDisciplineError("a lock sanitizer is already installed")
+    sanitizer = LockSanitizer(prefixes)
+    if patch_threading:
+        sanitizer.patch_threading()
+    if patch_publish:
+        sanitizer.patch_publish_points()
+    _ACTIVE = sanitizer
+    return sanitizer
+
+
+def uninstall_sanitizer(sanitizer: "LockSanitizer | None" = None) -> None:
+    """Undo :func:`install_sanitizer`; safe to call in ``finally`` blocks."""
+    global _ACTIVE
+    target = sanitizer if sanitizer is not None else _ACTIVE
+    if target is None:
+        return
+    target.unpatch()
+    if _ACTIVE is target:
+        _ACTIVE = None

@@ -139,7 +139,9 @@ class ModelCache:
         self.max_bytes = max_bytes
         self.warm_dir = None if warm_dir is None else os.fspath(warm_dir)
         self._lock = threading.Lock()
+        #: guarded-by: _lock
         self._models: "OrderedDict[ModelKey, CoarsenResult]" = OrderedDict()
+        #: guarded-by: _lock
         self._bytes: "dict[ModelKey, int]" = {}
 
     # ------------------------------------------------------------------
@@ -216,7 +218,7 @@ class ModelCache:
         try:
             return load_coarsening(path)
         except GraphFormatError:
-            return None  # reprolint: disable=RL006 - corrupt warm archive degrades to a recompute, never a failure
+            return None  # corrupt warm archive degrades to a recompute
 
     def store_warm(self, key: ModelKey, result: CoarsenResult) -> "str | None":
         """Persist ``result`` under ``warm_dir`` for future cold starts.

@@ -126,11 +126,12 @@ class DynamicModel:
         # Epoch-key chain, anchored at the root graph's true content
         # digest; advanced per batch by chain_digest and re-anchored (plus
         # integrity-checked) every ``digest_audit_interval`` epochs.
-        self._chain = key.graph_digest
+        self._chain = key.graph_digest  #: guarded-by: _mutate_lock
         model = self._coarsener.snapshot()
         service.cache.put(key, model)
         # The whole published state is one tuple so readers can never see
         # an epoch paired with another epoch's graph or model.
+        #: guarded-by: _mutate_lock
         self._current: "tuple[int, InfluenceGraph, ModelKey, CoarsenResult]" \
             = (0, graph, key, model)
         set_gauge("serve.dynamic.epoch", 0)

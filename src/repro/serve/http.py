@@ -225,7 +225,7 @@ def serve_forever(server: ThreadingHTTPServer,
     try:
         server.serve_forever(poll_interval=0.1)
     except KeyboardInterrupt:
-        pass  # reprolint: disable=RL006 - Ctrl-C is the documented shutdown path
+        pass  # Ctrl-C is the documented shutdown path
     finally:
         server.server_close()
         service.close()

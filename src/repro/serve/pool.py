@@ -69,9 +69,9 @@ class SamplePool:
             raise AlgorithmError("chunk_sets must be positive")
         self.graph = graph
         self._sampler = RRSampler(graph, rng=ensure_rng(rng), model=model)
-        self._rr_sets: list[np.ndarray] = []
-        self._coverage: "CoverageInstance | None" = None
-        self._coverage_size = 0
+        self._rr_sets: list[np.ndarray] = []  #: guarded-by: _lock
+        self._coverage: "CoverageInstance | None" = None  #: guarded-by: _lock
+        self._coverage_size = 0  #: guarded-by: _lock
         self._chunk_sets = chunk_sets
         self._lock = threading.Lock()
 

@@ -165,6 +165,7 @@ class InfluenceService:
             max_bytes=self.config.max_bytes,
             warm_dir=self.config.warm_dir,
         )
+        #: guarded-by: _pool_lock
         self._pools: "dict[ModelKey, SamplePool]" = {}
         self._pool_lock = threading.Lock()
         self._dynamic: "list" = []  # attached DynamicModel lineages
@@ -178,7 +179,7 @@ class InfluenceService:
         self._slots = threading.BoundedSemaphore(
             self.config.max_workers + self.config.max_pending
         )
-        self._depth = 0
+        self._depth = 0  #: guarded-by: _depth_lock
         self._depth_lock = threading.Lock()
         self._closed = False
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -59,6 +61,38 @@ def paper_graph() -> InfluenceGraph:
 def paper_partition_blocks() -> list[list[int]]:
     """The coarsened partition of Example 4.2: {C1..C5}."""
     return [[0, 1, 2], [3], [4, 5], [6], [7, 8]]
+
+
+@pytest.fixture(autouse=True)
+def _lock_sanitizer(request):
+    """Run every threaded suite under the runtime lock sanitizer.
+
+    Tests marked ``parallel`` or ``dynamic`` exercise the serving layer
+    concurrently; the sanitizer (:mod:`repro.sanitize`) records their
+    actual lock-acquisition orders and fails the test on an inversion,
+    self-deadlock, or publish-while-holding-pool/cache-lock.  Opt out
+    with ``REPRO_SANITIZE=0`` (e.g. while bisecting an unrelated
+    failure).
+    """
+    threaded = (request.node.get_closest_marker("parallel") is not None
+                or request.node.get_closest_marker("dynamic") is not None)
+    if not threaded or os.environ.get("REPRO_SANITIZE", "1") == "0":
+        yield
+        return
+    from repro.sanitize import (
+        current_sanitizer,
+        install_sanitizer,
+        uninstall_sanitizer,
+    )
+    if current_sanitizer() is not None:  # a self-test already installed one
+        yield
+        return
+    sanitizer = install_sanitizer()
+    try:
+        yield
+        sanitizer.assert_clean()
+    finally:
+        uninstall_sanitizer(sanitizer)
 
 
 @pytest.fixture

@@ -1,0 +1,30 @@
+"""RL101 fixture: unguarded writes to guarded attributes.
+
+``_items`` is pinned by an explicit annotation; ``_total`` has its guard
+inferred from the majority of its write sites.  Both have exactly one
+write that slips past the lock.
+"""
+
+import threading
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items = []  #: guarded-by: _lock
+        self._total = 0
+
+    def add(self, value: int) -> None:
+        with self._lock:
+            self._items.append(value)
+            self._total += value
+
+    def add_fast(self, value: int) -> None:
+        self._items.append(value)  # RL101: annotated guard not held
+
+    def bump(self) -> None:
+        with self._lock:
+            self._total += 1
+
+    def bump_racy(self) -> None:
+        self._total += 1  # RL101: inferred guard (_lock) not held

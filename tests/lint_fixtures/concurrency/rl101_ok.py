@@ -1,0 +1,25 @@
+"""RL101 fixture: every guarded write holds its lock; init writes and
+unguarded-by-design attributes are exempt."""
+
+import threading
+
+
+class Tracker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._items = []  #: guarded-by: _lock
+        self._total = 0
+        self._label = "idle"  # never written under a lock: by design
+
+    def add(self, value: int) -> None:
+        with self._lock:
+            self._items.append(value)
+            self._total += value
+
+    def rename(self, label: str) -> None:
+        self._label = label
+
+    def reset(self) -> None:
+        with self._lock:
+            self._items = []
+            self._total = 0

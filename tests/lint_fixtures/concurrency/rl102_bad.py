@@ -1,0 +1,21 @@
+"""RL102 fixture: two methods acquire the same pair of locks in opposite
+orders — a classic ABBA deadlock.  One side uses nested ``with`` blocks,
+the other the parenthesized multi-item form."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.moved = 0
+
+    def forward(self) -> None:
+        with self._a:
+            with self._b:
+                self.moved += 1
+
+    def backward(self) -> None:
+        with (self._b, self._a):  # RL102: inverts forward()'s order
+            self.moved -= 1

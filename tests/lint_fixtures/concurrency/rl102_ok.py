@@ -1,0 +1,20 @@
+"""RL102 fixture: both methods take the locks in the same global order,
+so the static acquisition graph is acyclic."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.moved = 0
+
+    def forward(self) -> None:
+        with self._a:
+            with self._b:
+                self.moved += 1
+
+    def backward(self) -> None:
+        with (self._a, self._b):
+            self.moved -= 1

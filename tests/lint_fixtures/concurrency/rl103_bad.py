@@ -1,0 +1,19 @@
+"""RL103 fixture: a locked getter returns ``self._sets`` by reference,
+but ``grow`` later mutates the same list in place — readers that hold
+the returned object see a torn update despite the lock."""
+
+import threading
+
+
+class Pool:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sets = []
+
+    def snapshot(self) -> list:
+        with self._lock:
+            return self._sets  # published by reference
+
+    def grow(self, item: object) -> None:
+        with self._lock:
+            self._sets.append(item)  # RL103: mutates published object

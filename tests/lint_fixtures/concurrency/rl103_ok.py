@@ -1,0 +1,19 @@
+"""RL103 fixture: copy-on-publish.  The getter still returns the
+attribute, but every post-init write *rebinds* it to a fresh object, so
+published references are immutable snapshots."""
+
+import threading
+
+
+class Pool:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sets = []
+
+    def snapshot(self) -> list:
+        with self._lock:
+            return self._sets
+
+    def grow(self, item: object) -> None:
+        with self._lock:
+            self._sets = self._sets + [item]  # rebind, never mutate

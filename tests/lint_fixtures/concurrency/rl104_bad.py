@@ -1,0 +1,20 @@
+"""RL104 fixture: threading primitives created outside ``__init__`` —
+each call replaces the object other threads may already be blocked on."""
+
+import threading
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def reset(self) -> None:
+        self._lock = threading.Lock()  # RL104: re-created in a method
+
+    def wait_for_go(self) -> None:
+        event = threading.Event()  # RL104: primitive in a method body
+        event.wait(timeout=0.01)
+
+
+def make_gate():
+    return threading.Semaphore(2)  # RL104: primitive in a module function

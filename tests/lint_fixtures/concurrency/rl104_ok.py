@@ -1,0 +1,17 @@
+"""RL104 fixture: the allowed creation contexts — module scope, class
+body, and ``__init__``."""
+
+import threading
+
+_MODULE_LOCK = threading.Lock()
+
+
+class Worker:
+    _CLASS_GATE = threading.Semaphore(4)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ready = threading.Event()
+
+    def signal(self) -> None:
+        self._ready.set()
