@@ -250,6 +250,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         n_samples=args.simulations, max_models=args.max_models,
         warm_dir=args.warm_dir, max_workers=args.workers,
         max_pending=args.max_pending, deadline_seconds=args.deadline,
+        shard_workers=args.shard_workers,
     )
     service = InfluenceService(config)
     print("coarsening model (one-time cost)...", file=sys.stderr)
@@ -371,6 +372,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-pending", type=int, default=64,
                          help="queued queries beyond the workers before "
                               "submits are rejected with 429")
+    p_serve.add_argument("--shard-workers", type=int, default=None,
+                         help="serve pool growth/scoring from this many "
+                              "worker processes sharing the model over "
+                              "shared memory (default: in-process)")
     p_serve.add_argument("--deadline", type=float, default=None,
                          help="per-query deadline in seconds (queries "
                               "degrade to fewer samples instead of missing it)")

@@ -65,24 +65,32 @@ class RRSampler:
         self._visit_stamp = np.zeros(graph.n, dtype=np.int64)
         self._stamp = 0
 
-    def sample_root(self) -> int:
+    def sample_root(self, rng=None) -> int:
         """A random root, weight-proportional (uniform when unweighted)."""
         if self.graph.n == 0:
             raise AlgorithmError("cannot sample a root from an empty graph")
-        u = self._rng.random() * self.total_weight
+        gen = self._rng if rng is None else ensure_rng(rng)
+        u = gen.random() * self.total_weight
         return int(np.searchsorted(self._cum_weights, u, side="right"))
 
-    def sample(self, root: int | None = None) -> np.ndarray:
+    def sample(self, root: int | None = None, rng=None) -> np.ndarray:
         """One RR set: vertices reaching ``root`` in a live-edge outcome.
 
         Edge coins are flipped lazily on examined reverse edges only; the
         examined-edge counter feeds the cost accounting that links the
         framework's speed-up to the edge-reduction ratio.
+
+        ``rng`` substitutes a per-call stream for the sampler's own: given
+        the same graph and the same generator state, the returned RR set is
+        bit-identical regardless of which process draws it.  The serving
+        pools (:mod:`repro.serve`) rely on this with :func:`repro.rng.
+        indexed_rng` streams to shard one pool across workers.
         """
+        gen = self._rng if rng is None else ensure_rng(rng)
         if root is None:
-            root = self.sample_root()
+            root = self.sample_root(rng=gen)
         if self.model == "lt":
-            return self._sample_lt(root)
+            return self._sample_lt(root, rng=gen)
         rev = self._rev
         self._stamp += 1
         stamp = self._stamp
@@ -94,7 +102,7 @@ class RRSampler:
             if edge_idx.size == 0:
                 break
             self.examined_edges += edge_idx.size
-            success = self._rng.random(edge_idx.size) < rev.probs[edge_idx]
+            success = gen.random(edge_idx.size) < rev.probs[edge_idx]
             targets = rev.heads[edge_idx[success]]
             new = targets[self._visit_stamp[targets] != stamp]
             if new.size == 0:
@@ -106,7 +114,7 @@ class RRSampler:
         rr.sort()
         return rr
 
-    def _sample_lt(self, root: int) -> np.ndarray:
+    def _sample_lt(self, root: int, rng=None) -> np.ndarray:
         """LT RR set: a reverse walk choosing one in-edge per step.
 
         Under the LT live-edge distribution each vertex keeps at most one
@@ -114,6 +122,7 @@ class RRSampler:
         vertices reaching the root is a simple path; the walk stops when no
         in-edge is selected or the path would revisit a vertex.
         """
+        gen = self._rng if rng is None else ensure_rng(rng)
         rev = self._rev
         path = [root]
         seen = {root}
@@ -124,7 +133,7 @@ class RRSampler:
                 break
             self.examined_edges += hi - lo
             cumulative = np.cumsum(rev.probs[lo:hi])
-            draw = self._rng.random()
+            draw = gen.random()
             pos = int(np.searchsorted(cumulative, draw, side="right"))
             if pos >= hi - lo:
                 break  # no in-edge selected for this vertex

@@ -46,7 +46,11 @@ from .influence_graph import InfluenceGraph
 __all__ = [
     "SharedGraph",
     "SharedGraphSpec",
+    "SharedModel",
+    "SharedModelSpec",
     "attach_shared_graph",
+    "attach_shared_model",
+    "detach_shared_graph",
     "detach_shared_graphs",
 ]
 
@@ -136,16 +140,21 @@ class SharedGraph:
         self._shm: "shared_memory.SharedMemory | None" = shm
 
     @classmethod
-    def publish(cls, graph: InfluenceGraph) -> "SharedGraph":
+    def publish(cls, graph: InfluenceGraph,
+                name: "str | None" = None) -> "SharedGraph":
         """Copy ``graph``'s CSR arrays into a fresh shared segment.
 
         The one memcpy of the whole broadcast happens here.  If anything
         fails mid-copy the segment is closed *and unlinked* before the
         exception propagates — a publish never leaks a named segment.
+
+        ``name`` forces the segment name instead of letting the OS pick a
+        fresh one; only tests exercising segment-name reuse should need it.
         """
         spec_shape = (graph.n, graph.m, graph.is_weighted)
         size = SharedGraphSpec("", *spec_shape).nbytes
-        shm = shared_memory.SharedMemory(create=True, size=max(size, 1))
+        shm = shared_memory.SharedMemory(create=True, size=max(size, 1),
+                                         name=name)
         try:
             spec = SharedGraphSpec(shm.name, *spec_shape)
             o_indptr, o_heads, o_probs, o_weights = spec._offsets()
@@ -184,7 +193,10 @@ class SharedGraph:
         until they are garbage-collected — ``close`` failing with
         ``BufferError`` is therefore tolerated; the OS reclaims the pages
         when the last mapping drops.  The *name* is removed immediately,
-        so no new attachment can race the teardown.
+        so no new attachment can race the teardown.  This process's
+        attachment cache entry for the name (if any) is evicted too: once
+        the name is free the OS may hand it to a future segment, and a
+        cached mapping of the dead one must not shadow it.
         """
         shm, self._shm = self._shm, None
         if shm is None:
@@ -192,6 +204,7 @@ class SharedGraph:
         try:
             shm.unlink()
         finally:
+            detach_shared_graph(self.spec.name)
             # Views handed out by graph() may still pin the mapping; the
             # name (not the mapping) is what must go away immediately.
             _close_tolerating_views(shm)
@@ -232,6 +245,26 @@ def attach_shared_graph(spec: SharedGraphSpec) -> InfluenceGraph:
         return entry[0]
 
 
+def detach_shared_graph(name: str) -> bool:
+    """Evict one cached attachment (idempotent); returns whether it existed.
+
+    Must be called when a worker is told a segment went away (the serving
+    shard protocol's ``detach`` task) — and is called automatically by
+    :meth:`SharedGraph.unlink` in the publisher's own process.  Without the
+    eviction, a long-lived process that later attaches a *new* segment
+    reusing the same OS-assigned name would be handed the stale mapping of
+    the dead one, and would hold the dead segment's pages alive forever.
+    """
+    with _ATTACH_LOCK:
+        entry = _ATTACHED.pop(name, None)
+    if entry is None:
+        return False
+    _graph, shm = entry
+    del _graph
+    _close_tolerating_views(shm)
+    return True
+
+
 def detach_shared_graphs() -> None:
     """Drop every cached attachment in this process (idempotent).
 
@@ -240,10 +273,72 @@ def detach_shared_graphs() -> None:
     garbage collection rather than forced here.
     """
     with _ATTACH_LOCK:
-        while _ATTACHED:
-            _name, (_graph, shm) = _ATTACHED.popitem()
-            del _graph
-            _close_tolerating_views(shm)
+        names = list(_ATTACHED)
+    for name in names:
+        detach_shared_graph(name)
 
 
 atexit.register(detach_shared_graphs)
+
+
+@dataclass(frozen=True)
+class SharedModelSpec:
+    """Picklable descriptor of a published serving model.
+
+    ``token`` is the model's content-address
+    (:meth:`repro.serve.cache.ModelKey.token`), which shard workers use to
+    key their per-model state; ``graph`` locates the coarse graph ``H``
+    inside shared memory.  The fine-to-coarse projection ``pi`` stays in
+    the parent — the serving dispatcher maps seed sets to coarse ids
+    before any query crosses the process boundary, so workers only ever
+    need ``H``.
+    """
+
+    token: str
+    graph: SharedGraphSpec
+
+
+class SharedModel:
+    """Publisher-side handle for a serving-model broadcast.
+
+    A thin composition over :class:`SharedGraph`: the coarse graph of one
+    cached model is published once and addressed by the model's cache
+    token.  Same ownership protocol — the publisher (the serving parent)
+    must :meth:`unlink` when the model is evicted.
+    """
+
+    __slots__ = ("token", "_shared")
+
+    def __init__(self, token: str, shared: SharedGraph) -> None:
+        self.token = token
+        self._shared = shared
+
+    @classmethod
+    def publish(cls, token: str, coarse: InfluenceGraph) -> "SharedModel":
+        """Publish model ``token``'s coarse graph into shared memory."""
+        return cls(token, SharedGraph.publish(coarse))
+
+    @property
+    def spec(self) -> SharedModelSpec:
+        """The picklable descriptor workers attach with."""
+        return SharedModelSpec(self.token, self._shared.spec)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes broadcast for this model."""
+        return self._shared.spec.nbytes
+
+    def unlink(self) -> None:
+        """Release the underlying segment (idempotent)."""
+        self._shared.unlink()
+
+    def __enter__(self) -> "SharedModel":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.unlink()
+
+
+def attach_shared_model(spec: SharedModelSpec) -> InfluenceGraph:
+    """Attach the coarse graph of a published model (cached per process)."""
+    return attach_shared_graph(spec.graph)

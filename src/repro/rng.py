@@ -42,3 +42,31 @@ def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
     base = ensure_rng(rng)
     seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_entropy(rng: RngLike) -> int:
+    """One 63-bit integer drawn from ``rng``, for :func:`indexed_rng` streams.
+
+    The indexed-stream discipline (see :func:`indexed_rng`) needs a plain
+    integer base, not a generator: a generator's future output depends on
+    how much of it has already been consumed, while an entropy integer can
+    be shipped to another process and re-derive the exact same streams.
+    """
+    return int(ensure_rng(rng).integers(0, 2**63 - 1))
+
+
+def indexed_rng(entropy: int, index: int) -> np.random.Generator:
+    """The generator for stream ``index`` of the ``entropy`` family.
+
+    Deterministic in ``(entropy, index)`` alone — two processes given the
+    same pair construct bit-identical streams without coordinating.  This
+    is the substrate of the serving layer's sharded sample pools
+    (:mod:`repro.serve.shard`): sample ``i`` of a pool is always drawn
+    from stream ``i``, so *any* partition of the indices across workers
+    reassembles the exact pool a serial drawer would have produced.
+    """
+    if index < 0:
+        raise ValueError("indexed_rng index must be non-negative")
+    seq = np.random.SeedSequence(entropy=int(entropy),
+                                 spawn_key=(int(index),))
+    return np.random.default_rng(seq)

@@ -21,6 +21,11 @@ beyond the library itself:
   mutations maintained incrementally by Algorithm 7 under addressable
   coins and published as content-addressed delta-epochs, with
   epoch-consistent queries racing updates safely;
+* :class:`ShardRuntime` (:mod:`.shard`) — optional multi-process serving:
+  a persistent worker fleet attaches the coarse model over shared memory
+  (:mod:`repro.graph.shm`) and owns strided shards of every pool, so
+  batched estimates fan out across cores with bit-for-bit identical
+  answers and graceful in-process fallback on worker crashes;
 * :mod:`.http` — a small stdlib JSON endpoint (``repro serve``) for shell
   and load-test use.
 
@@ -34,6 +39,7 @@ from .cache import ModelCache, ModelKey
 from .dynamic import DynamicModel
 from .pool import PoolMaximizer, SamplePool
 from .service import InfluenceService, QueryResult, ServiceConfig
+from .shard import ShardError, ShardPool, ShardRuntime
 
 __all__ = [
     "InfluenceService",
@@ -44,4 +50,7 @@ __all__ = [
     "ModelKey",
     "SamplePool",
     "PoolMaximizer",
+    "ShardError",
+    "ShardPool",
+    "ShardRuntime",
 ]

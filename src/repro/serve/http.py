@@ -94,8 +94,20 @@ class ServeHandler(BaseHTTPRequestHandler):
         inc("serve.http.responses")
 
     def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
+        # Content-Length is attacker-controlled text: parse it under the
+        # bad-request path (400), never the unhandled one (500).  When the
+        # header is unusable the body was never consumed, so this
+        # keep-alive connection is desynced — it must close rather than
+        # parse body bytes as the next request line.
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError as exc:
+            self.close_connection = True
+            raise ReproError(
+                f"malformed Content-Length header: {exc}"
+            ) from exc
         if not 0 < length <= _MAX_BODY_BYTES:
+            self.close_connection = True
             raise ReproError("request body must be non-empty JSON")
         try:
             body = json.loads(self.rfile.read(length))

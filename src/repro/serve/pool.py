@@ -1,25 +1,32 @@
 """Shared RR-set sample pools (the query-coalescing substrate).
 
-One :class:`SamplePool` exists per cached model.  It owns a single
-:class:`~repro.diffusion.rr_sets.RRSampler` stream and a grow-only RR-set
-collection: a query needing ``t`` sets calls :meth:`SamplePool.ensure`,
-which draws only the shortfall, and then scores its seed set against the
-*prefix* ``rr_sets[:t]``.  Because sets are appended in draw order, the
-prefix of length ``t`` is distributed exactly as an independent collection
-of ``t`` sets — so many concurrent queries (with different seed sets and
-even different sketch sizes) share one pool without biasing each other,
-and a batch of q queries costs one sketch construction instead of q
-(``serve.pool.reuse`` counts the sets a query did *not* have to draw).
+One :class:`SamplePool` exists per cached model.  It owns a grow-only
+RR-set collection: a query needing ``t`` sets calls
+:meth:`SamplePool.ensure`, which draws only the shortfall, and then scores
+its seed set against the *prefix* ``rr_sets[:t]``.  Because sets are
+appended in draw order, the prefix of length ``t`` is distributed exactly
+as an independent collection of ``t`` sets — so many concurrent queries
+(with different seed sets and even different sketch sizes) share one pool
+without biasing each other, and a batch of q queries costs one sketch
+construction instead of q (``serve.pool.reuse`` counts the sets a query
+did *not* have to draw).
 
 Growth happens in chunks so a per-query deadline can stop it between
 chunks: the query then degrades to the achieved prefix instead of missing
 its deadline (``serve.deadline.degraded``), and the service reports the
 weaker accuracy through ``analysis.bounds.guarantee_report``.
 
-Determinism: one pool = one RNG stream, so for a fixed service seed the
+Determinism: the pool follows the *indexed-stream* discipline — sample
+``i`` is drawn from its own generator, :func:`repro.rng.indexed_rng`
+seeded by ``(entropy, i)``, where the pool's entropy is one integer drawn
+up front from the caller's ``rng``.  The pool's contents are therefore a
+pure function of ``(graph, entropy, index)``: for a fixed service seed the
 value of a query depends only on (model, seed set, sketch size) — never on
-which thread drew the sets.  That is what makes batched and sequential
-answers bit-for-bit identical (asserted in ``benchmarks/bench_serve.py``).
+which thread drew the sets, and never on how the index range is
+partitioned across *processes*.  That is what makes batched, sequential,
+and sharded (:mod:`repro.serve.shard`) answers bit-for-bit identical
+(asserted in ``benchmarks/bench_serve.py`` and
+``benchmarks/bench_serve_shard.py``).
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from ..errors import AlgorithmError
 from ..graph.influence_graph import InfluenceGraph
 from ..obs import inc, span
 from ..rng import RngLike
-from ..rng import ensure_rng
+from ..rng import derive_entropy, ensure_rng, indexed_rng
 
 __all__ = ["SamplePool", "PoolMaximizer"]
 
@@ -54,7 +61,10 @@ class SamplePool:
         The graph queries are scored on (for a served model, the coarse
         graph ``H``).
     rng:
-        Seed or generator for the single sampling stream.
+        Seed or generator the pool's entropy is drawn from (one integer,
+        drawn immediately — see :func:`repro.rng.derive_entropy`); every
+        sample index then gets its own :func:`repro.rng.indexed_rng`
+        stream.
     model:
         Diffusion model (``"ic"`` / ``"lt"``), as on
         :class:`~repro.diffusion.rr_sets.RRSampler`.
@@ -68,7 +78,12 @@ class SamplePool:
         if chunk_sets <= 0:
             raise AlgorithmError("chunk_sets must be positive")
         self.graph = graph
-        self._sampler = RRSampler(graph, rng=ensure_rng(rng), model=model)
+        self.entropy = derive_entropy(rng)
+        # The sampler's own fallback stream is the entropy's parent stream,
+        # independent of every spawned child; ensure() never touches it —
+        # pooled sample i always gets stream (entropy, i).
+        self._sampler = RRSampler(graph, rng=ensure_rng(self.entropy),
+                                  model=model)
         self._rr_sets: list[np.ndarray] = []  #: guarded-by: _lock
         self._coverage: "CoverageInstance | None" = None  #: guarded-by: _lock
         self._coverage_size = 0  #: guarded-by: _lock
@@ -115,7 +130,14 @@ class SamplePool:
                         break
                     chunk = min(self._chunk_sets,
                                 n_samples - len(self._rr_sets))
-                    self._rr_sets.extend(self._sampler.sample_batch(chunk))
+                    # Indexed-stream discipline: sample i comes from stream
+                    # (entropy, i), so the pool's contents do not depend on
+                    # who draws them — a sharded worker fleet drawing the
+                    # same indices produces the identical pool.
+                    for _ in range(chunk):
+                        index = len(self._rr_sets)
+                        self._rr_sets.append(self._sampler.sample(
+                            rng=indexed_rng(self.entropy, index)))
             inc("serve.pool.drawn", len(self._rr_sets) - reused)
             return min(n_samples, len(self._rr_sets))
 

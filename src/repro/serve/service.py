@@ -20,11 +20,18 @@ goes:
 4. **deadline** — with ``deadline_seconds`` set, pool growth stops at the
    deadline and the query degrades to the achieved prefix
    (``serve.deadline.degraded``); the weaker accuracy is reported through
-   :func:`repro.analysis.bounds.guarantee_report`.
+   :func:`repro.analysis.bounds.guarantee_report`;
+5. **sharding** (optional) — with ``shard_workers`` set, growth and
+   scoring run on a persistent fleet of worker processes
+   (:mod:`repro.serve.shard`) that attach the model's coarse graph over
+   shared memory; the parent keeps parsing, admission, deadlines, and
+   seed mapping.  A broken fleet falls back to in-process pools
+   transparently — and bit-for-bit identically.
 
 Determinism: for a fixed :class:`ServiceConfig` seed, answers depend only
-on (graph content, query) — batched and sequential execution return
-bit-for-bit identical values (see ``benchmarks/bench_serve.py``).
+on (graph content, query) — batched, sequential, and sharded execution
+return bit-for-bit identical values (see ``benchmarks/bench_serve.py``
+and ``benchmarks/bench_serve_shard.py``).
 """
 
 from __future__ import annotations
@@ -51,9 +58,10 @@ from ..scc import DEFAULT_SCC_BACKEND
 from ..errors import AlgorithmError, BudgetExceededError
 from ..graph.influence_graph import InfluenceGraph
 from ..obs import inc, set_gauge, span
-from ..rng import ensure_rng
+from ..rng import derive_entropy, ensure_rng
 from .cache import ModelCache, ModelKey
 from .pool import DEFAULT_CHUNK_SETS, SamplePool
+from .shard import ShardError, ShardPool, ShardRuntime
 
 __all__ = ["ServiceConfig", "QueryResult", "InfluenceService"]
 
@@ -93,6 +101,12 @@ class ServiceConfig:
     max_workers: int = 4
     max_pending: int = 64
     deadline_seconds: "float | None" = None
+    #: Size of the shard worker-process fleet (``None`` = in-process
+    #: serving).  Sharding changes *where* pools grow, never query
+    #: values: the indexed-stream discipline makes sharded answers
+    #: bit-for-bit equal to in-process ones, so this knob — like the
+    #: other serving knobs — stays out of the cache key.
+    shard_workers: "int | None" = None
     # -- degradation reporting -----------------------------------------
     report_samples: int = 500
     # -- live-graph key derivation -------------------------------------
@@ -116,6 +130,8 @@ class ServiceConfig:
             raise ValueError("max_pending must be non-negative")
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ValueError("deadline_seconds must be positive when given")
+        if self.shard_workers is not None and self.shard_workers <= 0:
+            raise ValueError("shard_workers must be positive when given")
         if self.digest_audit_interval <= 0:
             raise ValueError("digest_audit_interval must be positive")
         if self.sampler not in COIN_DISCIPLINES:
@@ -182,15 +198,27 @@ class InfluenceService:
         self._depth = 0  #: guarded-by: _depth_lock
         self._depth_lock = threading.Lock()
         self._closed = False
+        # Shard fleet state.  The runtime is started lazily on the first
+        # query so a service that never estimates pays no spawn cost; a
+        # failure (start or mid-query) latches _shard_failed and the
+        # service serves in-process for the rest of its life.
+        self._shard: "ShardRuntime | None" = None  #: guarded-by: _shard_lock
+        self._shard_failed = False  #: guarded-by: _shard_lock
+        self._shard_error: "str | None" = None  #: guarded-by: _shard_lock
+        self._shard_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
 
     def close(self) -> None:
-        """Drain in-flight queries and release the worker threads."""
+        """Drain in-flight queries and release workers (threads and fleet)."""
         self._closed = True
         self._dispatch.shutdown(wait=True)
+        with self._shard_lock:
+            runtime, self._shard = self._shard, None
+        if runtime is not None:
+            runtime.close()
 
     def __enter__(self) -> "InfluenceService":
         return self
@@ -328,6 +356,70 @@ class InfluenceService:
             return pool
 
     # ------------------------------------------------------------------
+    # Sharding
+    # ------------------------------------------------------------------
+
+    def _shard_runtime(self) -> "ShardRuntime | None":
+        """The worker fleet, started lazily; ``None`` once sharding failed."""
+        if self.config.shard_workers is None:
+            return None
+        with self._shard_lock:
+            if self._shard_failed:
+                return None
+            if self._shard is None:
+                try:
+                    self._shard = ShardRuntime(
+                        self.config.shard_workers,
+                        model=self.config.model,
+                        chunk_sets=self.config.chunk_samples,
+                    )
+                except ShardError as exc:
+                    self._shard_failed = True
+                    self._shard_error = str(exc)
+                    inc("serve.shard.fallback")
+                    return None
+            return self._shard
+
+    def _disable_shard(self, exc: ShardError) -> None:
+        """Latch the fleet off after a failure (permanent for this service).
+
+        The next query — and the retry of the one that tripped the
+        failure — serves from in-process pools, whose indexed streams
+        reproduce the exact samples the fleet would have drawn.
+        """
+        with self._shard_lock:
+            runtime, self._shard = self._shard, None
+            already = self._shard_failed
+            self._shard_failed = True
+            if self._shard_error is None:
+                self._shard_error = str(exc)
+        if not already:
+            inc("serve.shard.fallback")
+        if runtime is not None:
+            runtime.close()
+
+    def _query_pool(self, key: ModelKey,
+                    model: CoarsenResult) -> "SamplePool | ShardPool":
+        """The pool estimates score on: fleet-backed when sharding is
+        healthy, in-process otherwise — identical bits either way."""
+        runtime = self._shard_runtime()
+        if runtime is not None:
+            try:
+                # Entropy derivation matches SamplePool's exactly, so a
+                # later fallback pool re-draws the same indexed streams.
+                pool = runtime.pool_for(
+                    key.token(), model.coarse,
+                    derive_entropy(ensure_rng(self.config.seed)),
+                )
+                # Fleet-side cache eviction: drop models the parent cache
+                # no longer holds (no-op when nothing was evicted).
+                runtime.retain({k.token() for k in self.cache.keys()})
+                return pool
+            except ShardError as exc:
+                self._disable_shard(exc)
+        return self._pool_for(key, model)
+
+    # ------------------------------------------------------------------
     # Admission control
     # ------------------------------------------------------------------
 
@@ -381,7 +473,7 @@ class InfluenceService:
             raise AlgorithmError("n_samples must be positive")
         # Resolve the model once, outside the per-query slots.
         model = self.model_for(graph)
-        pool = self._pool_for(self.key_for(graph), model)
+        pool = self._query_pool(self.key_for(graph), model)
         futures = []
         try:
             for seeds in seed_sets:
@@ -404,15 +496,25 @@ class InfluenceService:
         return [future.result() for future in futures]
 
     def _run_estimate(self, graph: InfluenceGraph, model: CoarsenResult,
-                      pool: SamplePool, seeds: Sequence[int],
+                      pool: "SamplePool | ShardPool", seeds: Sequence[int],
                       requested: int) -> QueryResult:
         try:
-            return self._estimate_inner(graph, model, pool, seeds, requested)
+            try:
+                return self._estimate_inner(graph, model, pool, seeds,
+                                            requested)
+            except ShardError as exc:
+                # The fleet broke mid-query: latch it off and re-answer
+                # from an in-process pool — same indexed streams, same
+                # bits, just drawn locally.
+                self._disable_shard(exc)
+                fallback = self._pool_for(self.key_for(graph), model)
+                return self._estimate_inner(graph, model, fallback, seeds,
+                                            requested)
         finally:
             self._release()
 
     def _estimate_inner(self, graph: InfluenceGraph, model: CoarsenResult,
-                        pool: SamplePool, seeds: Sequence[int],
+                        pool: "SamplePool | ShardPool", seeds: Sequence[int],
                         requested: int) -> QueryResult:
         start = time.perf_counter()
         deadline = None
@@ -467,7 +569,11 @@ class InfluenceService:
         """Pick a size-``k`` seed set (Algorithm 4 over the cached model).
 
         Deterministic for a fixed config: the sketch is the pool prefix and
-        the pull-back RNG is re-seeded per call.
+        the pull-back RNG is re-seeded per call.  Maximization always runs
+        on the in-process pool, sharded or not — greedy max coverage needs
+        the full RR sets for decremental gains, which never cross the
+        process boundary.  The in-process pool draws the same indexed
+        streams the fleet does, so the sketch is the same either way.
         """
         requested = self.config.n_samples if n_samples is None else n_samples
         model = self.model_for(graph)
@@ -506,6 +612,15 @@ class InfluenceService:
 
     def stats(self) -> dict:
         """A JSON-able snapshot of cache and pool state (the ``/stats`` body)."""
+        with self._shard_lock:
+            shard = {
+                "enabled": self.config.shard_workers is not None,
+                "workers": self.config.shard_workers,
+                "failed": self._shard_failed,
+                "error": self._shard_error,
+                "runtime": (self._shard.stats()
+                            if self._shard is not None else None),
+            }
         return {
             "models": len(self.cache),
             "model_bytes": self.cache.nbytes(),
@@ -514,6 +629,7 @@ class InfluenceService:
             },
             "queue_depth": self._depth,
             "dynamic": [dynamic.stats() for dynamic in self._dynamic],
+            "shard": shard,
             "config": {
                 "r": self.config.r,
                 "seed": self.config.seed,
@@ -524,5 +640,6 @@ class InfluenceService:
                 "max_workers": self.config.max_workers,
                 "max_pending": self.config.max_pending,
                 "deadline_seconds": self.config.deadline_seconds,
+                "shard_workers": self.config.shard_workers,
             },
         }

@@ -67,15 +67,17 @@ def paper_partition_blocks() -> list[list[int]]:
 def _lock_sanitizer(request):
     """Run every threaded suite under the runtime lock sanitizer.
 
-    Tests marked ``parallel`` or ``dynamic`` exercise the serving layer
-    concurrently; the sanitizer (:mod:`repro.sanitize`) records their
-    actual lock-acquisition orders and fails the test on an inversion,
-    self-deadlock, or publish-while-holding-pool/cache-lock.  Opt out
-    with ``REPRO_SANITIZE=0`` (e.g. while bisecting an unrelated
-    failure).
+    Tests marked ``parallel``, ``dynamic``, or ``shard`` exercise the
+    serving layer concurrently; the sanitizer (:mod:`repro.sanitize`)
+    records their actual lock-acquisition orders and fails the test on an
+    inversion, self-deadlock, or publish-while-holding-pool/cache-lock.
+    (Shard workers additionally install their own sanitizer when the
+    parent has one — see :mod:`repro.serve.shard`.)  Opt out with
+    ``REPRO_SANITIZE=0`` (e.g. while bisecting an unrelated failure).
     """
     threaded = (request.node.get_closest_marker("parallel") is not None
-                or request.node.get_closest_marker("dynamic") is not None)
+                or request.node.get_closest_marker("dynamic") is not None
+                or request.node.get_closest_marker("shard") is not None)
     if not threaded or os.environ.get("REPRO_SANITIZE", "1") == "0":
         yield
         return

@@ -280,6 +280,9 @@ class TestServeLayer:
             "InfluenceService": {
                 "_depth": "_depth_lock",
                 "_pools": "_pool_lock",
+                "_shard": "_shard_lock",
+                "_shard_error": "_shard_lock",
+                "_shard_failed": "_shard_lock",
             },
             "ModelCache": {
                 "_bytes": "_lock",
@@ -289,6 +292,11 @@ class TestServeLayer:
                 "_coverage": "_lock",
                 "_coverage_size": "_lock",
                 "_rr_sets": "_lock",
+            },
+            "ShardRuntime": {
+                "_broken": "_lock",
+                "_models": "_lock",
+                "_workers": "_lock",
             },
         }
 
@@ -306,6 +314,7 @@ class TestServeLayer:
             ("DynamicModel._mutate_lock", "InfluenceService._pool_lock"),
             ("DynamicModel._mutate_lock", "ModelCache._lock"),
             ("InfluenceService._build_lock", "ModelCache._lock"),
+            ("InfluenceService._shard_lock", "ShardRuntime._lock"),
         }
 
     def test_whole_library_passes_strict(self):

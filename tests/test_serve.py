@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import socket
 import threading
 import time
 import urllib.error
@@ -264,6 +265,33 @@ class TestInfluenceService:
         assert result.report.estimation_eps <= 1.0
         assert registry.counter("serve.deadline.degraded") == 1
 
+    def test_batched_deadline_degrades_every_query(self, graph):
+        # The batched path must account degradation per query: each entry
+        # of the batch gets its own serve.deadline.degraded increment and
+        # its own achieved-accuracy report.
+        seed_sets = [[0], [1, 2], [3], [4, 5, 6]]
+        config = ServiceConfig(r=4, n_samples=200_000, min_samples=64,
+                               chunk_samples=64, deadline_seconds=1e-9,
+                               report_samples=50)
+        registry = obs.MetricsRegistry()
+        with obs.use_metrics(registry):
+            with InfluenceService(config) as svc:
+                results = svc.estimate_many(graph, seed_sets)
+        assert len(results) == len(seed_sets)
+        assert all(r.degraded for r in results)
+        assert all(r.n_samples >= 64 for r in results)
+        assert all(r.report is not None for r in results)
+        assert registry.counter("serve.deadline.degraded") == len(seed_sets)
+        # Degraded batched answers are still the deterministic prefix
+        # values: re-asking with the achieved size reproduces them.
+        with InfluenceService(ServiceConfig(
+                r=4, n_samples=200_000, min_samples=64,
+                chunk_samples=64)) as svc:
+            for seeds, result in zip(seed_sets, results):
+                again = svc.estimate(graph, seeds,
+                                     n_samples=result.n_samples)
+                assert again.value == result.value
+
     def test_maximize_deterministic_and_valid(self, graph):
         config = ServiceConfig(r=4, n_samples=2_000, min_samples=64)
         with InfluenceService(config) as svc:
@@ -345,3 +373,33 @@ class TestHTTP:
         with pytest.raises(urllib.error.HTTPError) as exc:
             self._post(base + "/nope", {"seeds": [0]})
         assert exc.value.code == 404
+
+    def test_malformed_content_length_is_bad_request(self, served):
+        # Regression: int() on the attacker-controlled Content-Length
+        # header used to sit outside the handler's error mapping, turning
+        # a malformed header into an unhandled 500.  It must be a clean
+        # 400 with a JSON error body — and because the body was never
+        # consumed, the desynced keep-alive connection must close instead
+        # of parsing body bytes as the next request line.
+        base, _ = served
+        host, port = base.removeprefix("http://").split(":")
+        with socket.create_connection((host, int(port)), timeout=5) as conn:
+            conn.settimeout(5)
+            conn.sendall(
+                b"POST /estimate HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: banana\r\n"
+                b"\r\n"
+                b'{"seeds": [0]}'
+            )
+            raw = b""
+            while True:  # server closes the connection -> read to EOF
+                chunk = conn.recv(4096)
+                if not chunk:
+                    break
+                raw += chunk
+        status_line = raw.split(b"\r\n", 1)[0]
+        assert b" 400 " in status_line
+        body = json.loads(raw.partition(b"\r\n\r\n")[2])
+        assert "Content-Length" in body["error"]

@@ -5,7 +5,14 @@ import pytest
 
 from repro.errors import GraphFormatError
 from repro.graph import InfluenceGraph, SharedGraph
-from repro.graph.shm import _ATTACHED, attach_shared_graph, detach_shared_graphs
+from repro.graph.shm import (
+    _ATTACHED,
+    SharedModel,
+    attach_shared_graph,
+    attach_shared_model,
+    detach_shared_graph,
+    detach_shared_graphs,
+)
 
 from .conftest import random_graph
 
@@ -69,6 +76,52 @@ class TestPublishAttach:
         shared.unlink()
         assert view == two_cliques_graph
         detach_shared_graphs()
+
+    def test_explicit_detach_evicts_cache(self, two_cliques_graph):
+        with SharedGraph.publish(two_cliques_graph) as shared:
+            attach_shared_graph(shared.spec)
+            assert shared.spec.name in _ATTACHED
+            assert detach_shared_graph(shared.spec.name)
+            assert shared.spec.name not in _ATTACHED
+            # Idempotent: a second detach is a no-op.
+            assert not detach_shared_graph(shared.spec.name)
+            # Re-attach works while the segment still exists.
+            assert attach_shared_graph(shared.spec) == two_cliques_graph
+        assert shared.spec.name not in _ATTACHED  # unlink evicted it
+
+    def test_segment_name_reuse_gets_fresh_mapping(self, two_cliques_graph):
+        # The two-pool reuse scenario: a long-lived process attaches pool
+        # A's segment, pool A is torn down, and pool B's segment happens
+        # to reuse the same OS name.  Without unlink-time eviction the
+        # cache would serve A's dead mapping for B's spec.
+        first = SharedGraph.publish(two_cliques_graph)
+        name = first.spec.name
+        stale = attach_shared_graph(first.spec)
+        assert stale == two_cliques_graph
+        first.unlink()
+        assert name not in _ATTACHED
+        other = random_graph(12, 40, seed=3)
+        second = SharedGraph.publish(other, name=name)
+        try:
+            fresh = attach_shared_graph(second.spec)
+            assert fresh == other
+            assert fresh != two_cliques_graph
+        finally:
+            second.unlink()
+
+
+class TestSharedModel:
+    def test_model_round_trip_and_spec(self, two_cliques_graph):
+        with SharedModel.publish("tok123", two_cliques_graph) as shared:
+            spec = shared.spec
+            assert spec.token == "tok123"
+            assert shared.nbytes == spec.graph.nbytes
+            view = attach_shared_model(spec)
+            assert view == two_cliques_graph
+        # unlink evicted the publisher-process cache entry too
+        assert spec.graph.name not in _ATTACHED
+        with pytest.raises(GraphFormatError):
+            attach_shared_model(spec)
 
 
 class TestLifecycle:
