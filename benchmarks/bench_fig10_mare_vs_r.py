@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms import MonteCarloEstimator
+from repro.estimators import make_estimator
 from repro.analysis import mean_absolute_relative_error
 from repro.bench import ascii_plot, render_series, save_json
 from repro.core import coarsen, estimate_on_coarse, robust_scc_refinement_sequence
@@ -31,7 +31,7 @@ def generate() -> dict:
         graph = load_dataset(name, "exp", seed=0)
         rng = ensure_rng(13)
         vertices = rng.choice(graph.n, size=N_VERTICES, replace=False)
-        gt_est = MonteCarloEstimator(N_SIMULATIONS, rng=1)
+        gt_est = make_estimator("mc", n_samples=N_SIMULATIONS, rng=1)
         ground_truth = np.array(
             [gt_est.estimate(graph, np.array([v])) for v in vertices]
         )
@@ -43,7 +43,7 @@ def generate() -> dict:
                 coarse=coarse, pi=pi, partition=chain[r - 1],
                 stats=CoarsenStats(r=r),
             )
-            fw = MonteCarloEstimator(N_SIMULATIONS, rng=2)
+            fw = make_estimator("mc", n_samples=N_SIMULATIONS, rng=2)
             estimates = np.array(
                 [estimate_on_coarse(result, np.array([v]), fw)
                  for v in vertices]

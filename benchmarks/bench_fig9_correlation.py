@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.algorithms import MonteCarloEstimator
+from repro.estimators import make_estimator
 from repro.bench import render_table, save_json
 from repro.core import coarsen_influence_graph, estimate_on_coarse
 from repro.datasets import load_dataset
@@ -29,7 +29,7 @@ def generate() -> dict:
     graph = load_dataset(DATASET, "exp", seed=0)
     rng = ensure_rng(11)
     vertices = rng.choice(graph.n, size=N_VERTICES, replace=False)
-    gt_est = MonteCarloEstimator(N_SIMULATIONS, rng=1)
+    gt_est = make_estimator("mc", n_samples=N_SIMULATIONS, rng=1)
     ground_truth = np.array(
         [gt_est.estimate(graph, np.array([v])) for v in vertices]
     )
@@ -38,7 +38,7 @@ def generate() -> dict:
     rows = []
     for r in (1, 16):
         result = coarsen_influence_graph(graph, r=r, rng=0)
-        fw = MonteCarloEstimator(N_SIMULATIONS, rng=2)
+        fw = make_estimator("mc", n_samples=N_SIMULATIONS, rng=2)
         estimates = np.array(
             [estimate_on_coarse(result, np.array([v]), fw) for v in vertices]
         )

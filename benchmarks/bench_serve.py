@@ -29,7 +29,7 @@ import os
 import sys
 import time
 
-from repro.algorithms import RISEstimator
+from repro.estimators import make_estimator
 from repro.bench import format_seconds, render_table, save_json
 from repro.core import coarsen_influence_graph, estimate_on_coarse
 from repro.serve import InfluenceService, ServiceConfig
@@ -60,7 +60,7 @@ def _cold(graph, seed_sets) -> tuple[float, list[float]]:
     values = []
     for i, seeds in enumerate(seed_sets):
         result = coarsen_influence_graph(graph, r=R, rng=0)
-        estimator = RISEstimator(n_samples=N_SAMPLES, rng=0)
+        estimator = make_estimator("ris", n_samples=N_SAMPLES, rng=0)
         values.append(estimate_on_coarse(result, seeds, estimator))
     return time.perf_counter() - t0, values
 
@@ -71,7 +71,7 @@ def _warm(graph, seed_sets) -> tuple[float, list[float]]:
     t0 = time.perf_counter()
     values = []
     for seeds in seed_sets:
-        estimator = RISEstimator(n_samples=N_SAMPLES, rng=0)
+        estimator = make_estimator("ris", n_samples=N_SAMPLES, rng=0)
         values.append(estimate_on_coarse(result, seeds, estimator))
     return time.perf_counter() - t0, values
 

@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from repro.algorithms import MonteCarloEstimator
+from repro.estimators import make_estimator
 from repro.analysis import (
     mean_absolute_relative_error,
     spearman_rank_correlation,
@@ -46,7 +46,7 @@ def _adaptive_sims(graph, vertices) -> int:
     uses 100,000); a 200-simulation probe estimates the per-simulation cost
     so cheap datasets get deep sampling and expensive ones stay feasible.
     """
-    probe = MonteCarloEstimator(200, rng=0)
+    probe = make_estimator("mc", n_samples=200, rng=0)
     t0 = time.perf_counter()
     for v in vertices[:3]:
         probe.estimate(graph, np.array([v]))
@@ -65,13 +65,13 @@ def evaluate(name: str, setting: str) -> dict:
     )
 
     # --- timing phase (fixed simulation count on both sides) ---
-    plain = MonteCarloEstimator(N_TIMING_SIMULATIONS, rng=1)
+    plain = make_estimator("mc", n_samples=N_TIMING_SIMULATIONS, rng=1)
     t0 = time.perf_counter()
     for v in vertices:
         plain.estimate(graph, np.array([v]))
     plain_seconds = time.perf_counter() - t0
 
-    framework = MonteCarloEstimator(N_TIMING_SIMULATIONS, rng=2)
+    framework = make_estimator("mc", n_samples=N_TIMING_SIMULATIONS, rng=2)
     t0 = time.perf_counter()
     for v in vertices:
         estimate_on_coarse(result, np.array([v]), framework)
@@ -90,8 +90,8 @@ def evaluate(name: str, setting: str) -> dict:
     if DATASETS[name].tier != "large":
         acc_vertices = vertices[:N_ACCURACY_VERTICES]
         sims = _adaptive_sims(graph, acc_vertices)
-        gt_est = MonteCarloEstimator(sims, rng=3)
-        fw_est = MonteCarloEstimator(sims, rng=4)
+        gt_est = make_estimator("mc", n_samples=sims, rng=3)
+        fw_est = make_estimator("mc", n_samples=sims, rng=4)
         ground_truth = np.array(
             [gt_est.estimate(graph, np.array([v])) for v in acc_vertices]
         )

@@ -17,7 +17,8 @@ import time
 
 import numpy as np
 
-from repro.algorithms import DSSAMaximizer, MonteCarloEstimator
+from repro.algorithms import DSSAMaximizer
+from repro.estimators import make_estimator
 from repro.bench import format_seconds, render_table, save_json
 from repro.core import coarsen_influence_graph, maximize_on_coarse
 from repro.datasets import load_dataset
@@ -49,7 +50,7 @@ def _run(fn):
 
 def evaluate(name: str, setting: str) -> dict:
     graph = load_dataset(name, setting, seed=0)
-    quality = MonteCarloEstimator(QUALITY_SIMULATIONS, rng=5)
+    quality = make_estimator("mc", n_samples=QUALITY_SIMULATIONS, rng=5)
 
     plain_out, plain_seconds = _run(
         lambda: DSSAMaximizer(

@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from repro import DynamicCoarsener, MonteCarloEstimator, load_dataset
+from repro import DynamicCoarsener, load_dataset, make_estimator
 from repro.core import estimate_on_coarse
 
 graph = load_dataset("soc-slashdot", setting="exp", seed=0)
@@ -28,7 +28,7 @@ dyn = DynamicCoarsener(graph, r=16, rng=0)
 print(f"initial coarsening: {time.perf_counter() - t0:.2f} s")
 
 rng = np.random.default_rng(123)
-estimator = MonteCarloEstimator(1_500, rng=9)
+estimator = make_estimator("mc", n_samples=1_500, rng=9)
 watched_user = 42
 
 inserted: list[tuple[int, int]] = []

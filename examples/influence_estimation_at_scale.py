@@ -19,10 +19,10 @@ import time
 import numpy as np
 
 from repro import (
-    MonteCarloEstimator,
     coarsen_influence_graph,
     estimate_on_coarse,
     load_dataset,
+    make_estimator,
 )
 from repro.analysis import mean_absolute_relative_error, spearman_rank_correlation
 
@@ -39,12 +39,12 @@ print(
 rng = np.random.default_rng(5)
 users = rng.choice(graph.n, size=20, replace=False)
 
-plain = MonteCarloEstimator(SIMULATIONS, rng=1)
+plain = make_estimator("mc", n_samples=SIMULATIONS, rng=1)
 t0 = time.perf_counter()
 ground_truth = np.array([plain.estimate(graph, np.array([u])) for u in users])
 plain_seconds = time.perf_counter() - t0
 
-framework = MonteCarloEstimator(SIMULATIONS, rng=2)
+framework = make_estimator("mc", n_samples=SIMULATIONS, rng=2)
 t0 = time.perf_counter()
 estimates = np.array(
     [estimate_on_coarse(result, np.array([u]), framework) for u in users]

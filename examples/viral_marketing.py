@@ -24,9 +24,9 @@ import numpy as np
 from repro import (
     DegreeHeuristic,
     DSSAMaximizer,
-    MonteCarloEstimator,
     coarsen_influence_graph,
     load_dataset,
+    make_estimator,
     maximize_on_coarse,
 )
 
@@ -34,7 +34,7 @@ K = 10
 graph = load_dataset("soc-slashdot", setting="exp", seed=0)
 print(f"network: {graph} (synthetic analogue of soc-Slashdot0922)\n")
 
-judge = MonteCarloEstimator(n_samples=2_000, rng=99)
+judge = make_estimator("mc", n_samples=2_000, rng=99)
 
 
 def report(label: str, seeds: np.ndarray, seconds: float) -> float:

@@ -10,12 +10,13 @@ algorithms on the compact coarsened graph.
 Quickstart::
 
     from repro import load_dataset, coarsen_influence_graph
-    from repro import MonteCarloEstimator, estimate_on_coarse
+    from repro import estimate_on_coarse, make_estimator
 
     graph = load_dataset("soc-slashdot", setting="exp", seed=0)
     result = coarsen_influence_graph(graph, r=16, rng=0)
     print(result.stats.edge_reduction_ratio)
-    inf = estimate_on_coarse(result, [42], MonteCarloEstimator(10_000, rng=1))
+    est = make_estimator("mc", n_samples=10_000, rng=1)
+    inf = estimate_on_coarse(result, [42], est)
 
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for
 the paper-versus-measured record of every table and figure.
@@ -55,6 +56,12 @@ from .core import (
 )
 from .datasets import apply_setting, list_datasets, load_dataset
 from .diffusion import estimate_influence, simulate_ic
+from .estimators import (
+    EstimateResult,
+    available_estimators,
+    estimate_with_report,
+    make_estimator,
+)
 from .errors import (
     AlgorithmError,
     BudgetExceededError,
@@ -93,6 +100,11 @@ __all__ = [
     # frameworks
     "estimate_on_coarse",
     "maximize_on_coarse",
+    # estimator registry
+    "available_estimators",
+    "make_estimator",
+    "estimate_with_report",
+    "EstimateResult",
     # serving
     "InfluenceService",
     "ServiceConfig",

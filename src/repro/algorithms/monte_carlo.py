@@ -30,14 +30,30 @@ class MonteCarloEstimator:
         The 1.0 spelling ``n_simulations=`` is deprecated.
     rng:
         Seed or generator (shared across estimates on this instance).
+
+    Direct construction is deprecated since 1.2: obtain instances through
+    ``repro.estimators.make_estimator("mc", ...)`` (removed in 2.0).
     """
 
     def __init__(self, n_samples=MISSING, *, rng=None,
                  n_simulations=MISSING) -> None:
+        warn_deprecated("MonteCarloEstimator(...)",
+                        'repro.estimators.make_estimator("mc", ...)')
         n_samples = deprecated_alias(
             "MonteCarloEstimator", "n_samples", n_samples,
             "n_simulations", n_simulations, default=10_000,
         )
+        self._init(n_samples, rng=rng)
+
+    @classmethod
+    def _make(cls, n_samples: int = 10_000, *, rng=None
+              ) -> "MonteCarloEstimator":
+        """The registry's construction path (no deprecation warning)."""
+        est = cls.__new__(cls)
+        est._init(n_samples, rng=rng)
+        return est
+
+    def _init(self, n_samples: int, *, rng) -> None:
         if n_samples <= 0:
             raise AlgorithmError("n_samples must be positive")
         self.n_samples = n_samples

@@ -41,6 +41,9 @@ class RISEstimator:
     rng:
         Seed or generator for sketch sampling.
 
+    Direct construction is deprecated since 1.2: obtain instances through
+    ``repro.estimators.make_estimator("ris", ...)`` (removed in 2.0).
+
     Notes
     -----
     The sketch is (re)built lazily per graph object and reused across
@@ -50,10 +53,23 @@ class RISEstimator:
 
     def __init__(self, n_samples=MISSING, *, rng=None, model: str = "ic",
                  n_sets=MISSING) -> None:
+        warn_deprecated("RISEstimator(...)",
+                        'repro.estimators.make_estimator("ris", ...)')
         n_samples = deprecated_alias(
             "RISEstimator", "n_samples", n_samples, "n_sets", n_sets,
             default=20_000,
         )
+        self._init(n_samples, rng=rng, model=model)
+
+    @classmethod
+    def _make(cls, n_samples: int = 20_000, *, rng=None,
+              model: str = "ic") -> "RISEstimator":
+        """The registry's construction path (no deprecation warning)."""
+        est = cls.__new__(cls)
+        est._init(n_samples, rng=rng, model=model)
+        return est
+
+    def _init(self, n_samples: int, *, rng, model: str) -> None:
         if n_samples <= 0:
             raise AlgorithmError("n_samples must be positive")
         self.n_samples = n_samples
@@ -93,7 +109,7 @@ class RISEstimator:
             raise AlgorithmError(
                 f"n_samples must lie in [1, {coverage.n_sets}]"
             )
-        est = cls(limit)
+        est = cls._make(limit)
         est._graph = graph
         est._coverage = coverage
         est._total_weight = float(total_weight)

@@ -28,7 +28,6 @@ from .algorithms import (
     DegreeHeuristic,
     DSSAMaximizer,
     IMMMaximizer,
-    MonteCarloEstimator,
     RISMaximizer,
     SSAMaximizer,
 )
@@ -40,6 +39,7 @@ from .core import (
 )
 from .datasets import list_datasets, load_dataset
 from .errors import ReproError
+from .estimators import DEFAULT_ESTIMATOR, available_estimators, make_estimator
 from .graph import InfluenceGraph, read_edge_list, write_edge_list
 from .scc import DEFAULT_SCC_BACKEND, SCC_BACKENDS
 
@@ -68,7 +68,7 @@ _MAXIMIZERS = {
     "ris": lambda args: RISMaximizer(n_samples=args.simulations,
                                      rng=args.seed, model=args.model),
     "celf": lambda args: CELFMaximizer(
-        MonteCarloEstimator(args.simulations, rng=args.seed)
+        make_estimator("mc", n_samples=args.simulations, rng=args.seed)
     ),
     "degree": lambda args: DegreeHeuristic(),
 }
@@ -193,7 +193,16 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.default_prob, args.undirected,
                         args.reverse)
     seeds = _parse_seeds(args.seeds, graph.n)
-    estimator = MonteCarloEstimator(args.simulations, rng=args.seed)
+    opts: dict = {}
+    if args.estimator in ("mc", "ris"):
+        opts["n_samples"] = args.simulations
+        detail = f"{args.simulations} samples"
+    elif args.estimator == "sketch":
+        opts["r"] = args.r
+        detail = f"bottom-k oracle, r={args.r}"
+    else:
+        detail = "eps/delta-sized sampling"
+    estimator = make_estimator(args.estimator, rng=args.seed, **opts)
     t0 = time.perf_counter()
     if args.coarsen:
         result = coarsen_influence_graph(graph, r=args.r, rng=args.seed,
@@ -203,7 +212,7 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
         value = estimator.estimate(graph, seeds)
     seconds = time.perf_counter() - t0
     print(f"Inf({seeds.tolist()}) ~= {value:.2f} "
-          f"({args.simulations} simulations, {seconds:.2f} s"
+          f"({args.estimator}: {detail}, {seconds:.2f} s"
           f"{', via coarse graph' if args.coarsen else ''})")
     return 0
 
@@ -251,6 +260,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         warm_dir=args.warm_dir, max_workers=args.workers,
         max_pending=args.max_pending, deadline_seconds=args.deadline,
         shard_workers=args.shard_workers,
+        estimator=args.estimator,
     )
     service = InfluenceService(config)
     print("coarsening model (one-time cost)...", file=sys.stderr)
@@ -323,7 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_arguments(p_est)
     p_est.add_argument("--seeds", required=True,
                        help="comma-separated vertex ids")
-    p_est.add_argument("--simulations", type=int, default=10_000)
+    p_est.add_argument("--estimator", choices=available_estimators(),
+                       default="mc",
+                       help="estimator family (default %(default)s; "
+                            "see docs/serving.md, 'Choosing an estimator')")
+    p_est.add_argument("--simulations", type=int, default=10_000,
+                       help="samples for the mc/ris families")
     p_est.add_argument("--coarsen", action="store_true",
                        help="run on the coarsened graph")
     p_est.add_argument("-r", type=int, default=16)
@@ -367,6 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_coarsen_arguments(p_serve)
     p_serve.add_argument("--simulations", type=int, default=10_000,
                          help="default RR sets per query")
+    p_serve.add_argument("--estimator",
+                         choices=available_estimators(serving=True),
+                         default=DEFAULT_ESTIMATOR,
+                         help="estimator family answering /estimate "
+                              "(default %(default)s; 'sketch' precomputes a "
+                              "bottom-k oracle per model epoch)")
     p_serve.add_argument("--workers", type=int, default=4,
                          help="query worker threads")
     p_serve.add_argument("--max-pending", type=int, default=64,

@@ -29,6 +29,12 @@ beyond the library itself:
 * :mod:`.http` — a small stdlib JSON endpoint (``repro serve``) for shell
   and load-test use.
 
+``ServiceConfig(estimator=...)`` picks the family answering ``/estimate``
+from the :mod:`repro.estimators` registry: ``"ris"`` (default, pooled),
+``"sketch"`` (a precomputed bottom-k :class:`repro.sketch.InfluenceOracle`
+per model epoch — O(1) point queries, no pool traffic), or ``"mc"``.
+``/maximize`` always runs on the RR pool.
+
 Every stage emits ``repro.obs`` spans and counters (``serve.cache.*``,
 ``serve.pool.reuse``, ``serve.queue.depth``, ``serve.deadline.degraded``);
 see ``docs/serving.md`` for the cache-key/coalescing/backpressure

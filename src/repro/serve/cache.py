@@ -25,7 +25,7 @@ import hashlib
 import os
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..core.persistence import (
     load_coarsening,
@@ -61,6 +61,13 @@ class ModelKey:
     digest, hence a new key — archives or cache lines from a previous
     epoch can never alias the current model, and a stale-epoch archive
     degrades to an ordinary miss.
+
+    ``state`` names *which* derived artifact of the coarsening the key
+    addresses: ``"model"`` for the :class:`CoarsenResult` itself, and a
+    per-estimator name (``"pool"`` for shared RR pools, ``"sketch"`` for
+    bottom-k oracles) for query-time read state derived from it.  Sketch
+    state and RR pools for the same graph digest therefore live under
+    *different* keys and can never collide or cross-rebind on eviction.
     """
 
     graph_digest: str
@@ -69,6 +76,7 @@ class ModelKey:
     scc_backend: str
     executor: str
     sampler: str = "stream"
+    state: str = "model"
 
     @classmethod
     def for_graph(cls, graph: InfluenceGraph, r: int, seed: int,
@@ -79,10 +87,15 @@ class ModelKey:
                    scc_backend=scc_backend, executor=executor,
                    sampler=sampler)
 
+    def for_state(self, state: str) -> "ModelKey":
+        """This key re-addressed to another derived artifact (``state``)."""
+        return replace(self, state=state)
+
     def token(self) -> str:
         """A short filesystem-safe name for this key (warm archives)."""
         payload = "|".join([self.graph_digest, str(self.r), str(self.seed),
-                            self.scc_backend, self.executor, self.sampler])
+                            self.scc_backend, self.executor, self.sampler,
+                            self.state])
         return hashlib.blake2b(payload.encode("utf-8"),
                                digest_size=12).hexdigest()
 
@@ -95,6 +108,7 @@ class ModelKey:
             "scc_backend": self.scc_backend,
             "executor": self.executor,
             "sampler": self.sampler,
+            "state": self.state,
         }
 
 

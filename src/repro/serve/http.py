@@ -55,6 +55,9 @@ def _query_json(result: QueryResult) -> dict:
         "requested_samples": result.requested_samples,
         "degraded": result.degraded,
         "seconds": result.seconds,
+        # Which estimator family answered (absent only for results
+        # predating the registry, e.g. hand-built QueryResults in tests).
+        "estimator": result.extras.get("estimator", "ris"),
     }
     if result.report is not None:
         body["report"] = {

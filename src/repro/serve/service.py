@@ -54,11 +54,13 @@ from ..core.frameworks import (
     maximize_on_coarse,
 )
 from ..core.result import CoarsenResult
+from ..estimators import DEFAULT_ESTIMATOR, available_estimators
 from ..scc import DEFAULT_SCC_BACKEND
 from ..errors import AlgorithmError, BudgetExceededError
 from ..graph.influence_graph import InfluenceGraph
 from ..obs import inc, set_gauge, span
 from ..rng import derive_entropy, ensure_rng
+from ..sketch import DEFAULT_SKETCH_K, InfluenceOracle
 from .cache import ModelCache, ModelKey
 from .pool import DEFAULT_CHUNK_SETS, SamplePool
 from .shard import ShardError, ShardPool, ShardRuntime
@@ -93,6 +95,19 @@ class ServiceConfig:
     n_samples: int = 10_000
     chunk_samples: int = DEFAULT_CHUNK_SETS
     min_samples: int = 128
+    # -- estimator family ----------------------------------------------
+    #: Which estimator family answers ``/estimate``: ``"ris"`` (default)
+    #: scores the model's shared RR pool, ``"sketch"`` precomputes a
+    #: bottom-k :class:`~repro.sketch.InfluenceOracle` per model epoch
+    #: and answers point queries in O(1), ``"mc"`` simulates per query.
+    #: ``/maximize`` always runs on the RR pool — greedy max coverage
+    #: needs the full sets regardless of the read path.
+    estimator: str = DEFAULT_ESTIMATOR
+    #: Bottom-k sketch size for ``estimator="sketch"`` (accuracy knob:
+    #: CV <= 1/sqrt(k - 2); see ``repro.sketch.sketch_eps``).
+    sketch_k: int = DEFAULT_SKETCH_K
+    #: Confidence parameter the sketch guarantee report is stated at.
+    sketch_delta: float = 0.05
     # -- cache ---------------------------------------------------------
     max_models: int = 8
     max_bytes: "int | None" = None
@@ -136,6 +151,16 @@ class ServiceConfig:
             raise ValueError("digest_audit_interval must be positive")
         if self.sampler not in COIN_DISCIPLINES:
             raise ValueError(f"sampler must be one of {COIN_DISCIPLINES}")
+        serveable = available_estimators(serving=True)
+        if self.estimator not in serveable:
+            raise ValueError(
+                f"estimator must be one of {serveable}, not "
+                f"{self.estimator!r}"
+            )
+        if self.sketch_k < 4:
+            raise ValueError("sketch_k must be at least 4")
+        if not 0 < self.sketch_delta < 1:
+            raise ValueError("sketch_delta must lie in (0, 1)")
         if self.sampler == "addressable" and self.executor != "serial":
             raise ValueError(
                 "sampler='addressable' implies executor='serial' (the "
@@ -162,6 +187,23 @@ class QueryResult:
     extras: dict = field(default_factory=dict)
 
 
+@dataclass
+class _OracleState:
+    """One bottom-k oracle bound to a model epoch, plus its guarantees.
+
+    The guarantee report is computed ONCE per oracle build (it pays an MC
+    reliability estimation) and attached to every query answered from the
+    oracle — recomputing it per query would forfeit the oracle's whole
+    latency win.  ``graph`` is the fine graph the report translates to;
+    a retained model served for a new fine-graph epoch keeps the oracle
+    but restates the report.
+    """
+
+    oracle: InfluenceOracle
+    report: GuaranteeReport
+    graph: InfluenceGraph
+
+
 class InfluenceService:
     """Cached, batched influence queries over arbitrary input graphs.
 
@@ -184,6 +226,12 @@ class InfluenceService:
         #: guarded-by: _pool_lock
         self._pools: "dict[ModelKey, SamplePool]" = {}
         self._pool_lock = threading.Lock()
+        #: guarded-by: _oracle_lock
+        self._oracles: "dict[ModelKey, _OracleState]" = {}
+        self._oracle_lock = threading.Lock()
+        #: guarded-by: _count_lock
+        self._family_queries: "dict[str, int]" = {}
+        self._count_lock = threading.Lock()
         self._dynamic: "list" = []  # attached DynamicModel lineages
         self._build_lock = threading.Lock()
         self._dispatch = ThreadPoolExecutor(
@@ -318,21 +366,40 @@ class InfluenceService:
         """
         self.cache.put(key, model)
         with self._pool_lock:
-            pool = self._pools.get(prev_key)
-            if pool is None:
+            pool = self._pools.get(prev_key.for_state("pool"))
+            if pool is not None:
+                if retained and pool.graph is model.coarse:
+                    if key != prev_key:
+                        self._pools[key.for_state("pool")] = pool
+                        del self._pools[prev_key.for_state("pool")]
+                    inc("serve.dynamic.pool.retained")
+                else:
+                    inc("serve.dynamic.pool.invalidated_prefix", pool.size)
+                    del self._pools[prev_key.for_state("pool")]
+        with self._oracle_lock:
+            state = self._oracles.get(prev_key.for_state("sketch"))
+            if state is None:
                 return
-            if retained and pool.graph is model.coarse:
+            if retained and state.oracle.graph is model.coarse:
+                # The coarse graph survived the delta: the oracle stays
+                # valid (its sketches are a pure function of the coarse
+                # content and the config seed).  The translated report is
+                # restated lazily on the next query (_oracle_for).
                 if key != prev_key:
-                    self._pools[key] = pool
-                    del self._pools[prev_key]
-                inc("serve.dynamic.pool.retained")
+                    self._oracles[key.for_state("sketch")] = state
+                    del self._oracles[prev_key.for_state("sketch")]
+                inc("serve.dynamic.sketch.retained")
             else:
-                inc("serve.dynamic.pool.invalidated_prefix", pool.size)
-                del self._pools[prev_key]
+                # Invalidate; the next query rebuilds from the new model —
+                # bit-for-bit equal to a cold build at this epoch, since
+                # the oracle entropy derives from the config seed alone.
+                inc("serve.dynamic.sketch.invalidated")
+                del self._oracles[prev_key.for_state("sketch")]
 
     def _pool_for(self, key: ModelKey, model: CoarsenResult) -> SamplePool:
+        pkey = key.for_state("pool")
         with self._pool_lock:
-            pool = self._pools.get(key)
+            pool = self._pools.get(pkey)
             # A pool must be bound to exactly the model object queries
             # score against (estimators bind by identity); a model that
             # was evicted and rebuilt gets a fresh pool — same seed, so
@@ -349,11 +416,62 @@ class InfluenceService:
                     model=self.config.model,
                     chunk_sets=self.config.chunk_samples,
                 )
-                self._pools[key] = pool
+                self._pools[pkey] = pool
                 # Pools for evicted models are dropped with them.
-                for stale in [k for k in self._pools if k not in self.cache]:
+                for stale in [k for k in self._pools
+                              if k.for_state("model") not in self.cache]:
                     del self._pools[stale]
             return pool
+
+    def _oracle_for(self, graph: InfluenceGraph, key: ModelKey,
+                    model: CoarsenResult) -> _OracleState:
+        """The bottom-k oracle (plus its one-time report) for a model.
+
+        Addressed by ``key.for_state("sketch")`` so sketch state can never
+        collide with the RR pool under ``key.for_state("pool")``.  Builds
+        are single-flight under ``_oracle_lock``; the oracle is bound to
+        the model object by identity, exactly like pools, so an evicted
+        and rebuilt model gets a fresh (bit-identical, same-entropy)
+        oracle rather than cross-rebinding a stale one.
+        """
+        skey = key.for_state("sketch")
+        with self._oracle_lock:
+            state = self._oracles.get(skey)
+            if state is not None and state.oracle.graph is not model.coarse:
+                state = None
+            if state is None:
+                oracle = InfluenceOracle(
+                    model.coarse, r=self.config.r, k=self.config.sketch_k,
+                    rng=ensure_rng(self.config.seed),
+                )
+                inc("serve.sketch.builds")
+                state = _OracleState(
+                    oracle=oracle,
+                    report=self._sketch_report(graph, model, oracle),
+                    graph=graph,
+                )
+                self._oracles[skey] = state
+                for stale in [k for k in self._oracles
+                              if k.for_state("model") not in self.cache]:
+                    del self._oracles[stale]
+            elif state.graph is not graph:
+                # A retained model serving a new fine-graph epoch: the
+                # oracle is unchanged but the translated guarantees must
+                # be restated against the current fine graph.
+                state.report = self._sketch_report(graph, model,
+                                                  state.oracle)
+                state.graph = graph
+            return state
+
+    def _sketch_report(self, graph: InfluenceGraph, model: CoarsenResult,
+                       oracle: InfluenceOracle) -> GuaranteeReport:
+        """Theorem 6.1 with the sketch's (eps, delta) envelope folded in."""
+        return guarantee_report(
+            graph, model,
+            estimation_eps=min(1.0, oracle.eps(self.config.sketch_delta)),
+            n_samples=self.config.report_samples,
+            rng=ensure_rng(self.config.seed),
+        )
 
     # ------------------------------------------------------------------
     # Sharding
@@ -471,17 +589,24 @@ class InfluenceService:
         requested = self.config.n_samples if n_samples is None else n_samples
         if requested <= 0:
             raise AlgorithmError("n_samples must be positive")
-        # Resolve the model once, outside the per-query slots.
+        # Resolve the model — and the family's read state — once, outside
+        # the per-query slots.
         model = self.model_for(graph)
-        pool = self._query_pool(self.key_for(graph), model)
+        family = self.config.estimator
+        pool: "SamplePool | ShardPool | None" = None
+        oracle: "_OracleState | None" = None
+        if family == "sketch":
+            oracle = self._oracle_for(graph, self.key_for(graph), model)
+        elif family != "mc":
+            pool = self._query_pool(self.key_for(graph), model)
         futures = []
         try:
             for seeds in seed_sets:
                 self._admit()
                 try:
                     futures.append(self._dispatch.submit(
-                        self._run_estimate, graph, model, pool, seeds,
-                        requested,
+                        self._run_estimate, graph, model, pool, oracle,
+                        seeds, requested,
                     ))
                 except BaseException:
                     self._release()
@@ -496,9 +621,14 @@ class InfluenceService:
         return [future.result() for future in futures]
 
     def _run_estimate(self, graph: InfluenceGraph, model: CoarsenResult,
-                      pool: "SamplePool | ShardPool", seeds: Sequence[int],
+                      pool: "SamplePool | ShardPool | None",
+                      oracle: "_OracleState | None", seeds: Sequence[int],
                       requested: int) -> QueryResult:
         try:
+            if oracle is not None:
+                return self._estimate_sketch(model, oracle, seeds)
+            if pool is None:
+                return self._estimate_mc(model, seeds, requested)
             try:
                 return self._estimate_inner(graph, model, pool, seeds,
                                             requested)
@@ -513,6 +643,62 @@ class InfluenceService:
         finally:
             self._release()
 
+    def _count_query(self, family: str) -> None:
+        inc(f"serve.estimator.{family}.queries")
+        with self._count_lock:
+            self._family_queries[family] = (
+                self._family_queries.get(family, 0) + 1
+            )
+        inc("serve.queries")
+
+    def _estimate_sketch(self, model: CoarsenResult, state: _OracleState,
+                         seeds: Sequence[int]) -> QueryResult:
+        """Answer from the precomputed oracle: no sampling at query time."""
+        start = time.perf_counter()
+        with span("serve.estimate", seeds=len(seeds), n_samples=0,
+                  estimator="sketch"):
+            value = estimate_on_coarse(
+                model, np.asarray(seeds, dtype=np.int64), state.oracle,
+            )
+        self._count_query("sketch")
+        return QueryResult(
+            value=value,
+            n_samples=state.oracle.k,
+            requested_samples=state.oracle.k,
+            seconds=time.perf_counter() - start,
+            report=state.report,
+            extras={
+                "estimator": "sketch",
+                "k": state.oracle.k,
+                "r": state.oracle.r,
+                "eps": state.oracle.eps(self.config.sketch_delta),
+                "delta": self.config.sketch_delta,
+            },
+        )
+
+    def _estimate_mc(self, model: CoarsenResult, seeds: Sequence[int],
+                     requested: int) -> QueryResult:
+        """Simulation per query (``estimator="mc"``): slow, pool-free."""
+        from ..algorithms.monte_carlo import MonteCarloEstimator
+
+        start = time.perf_counter()
+        with span("serve.estimate", seeds=len(seeds), n_samples=requested,
+                  estimator="mc"):
+            est = MonteCarloEstimator._make(
+                requested, rng=ensure_rng(self.config.seed)
+            )
+            value = estimate_on_coarse(
+                model, np.asarray(seeds, dtype=np.int64), est,
+            )
+        self._count_query("mc")
+        return QueryResult(
+            value=value,
+            n_samples=requested,
+            requested_samples=requested,
+            seconds=time.perf_counter() - start,
+            extras={"estimator": "mc"},
+        )
+
     def _estimate_inner(self, graph: InfluenceGraph, model: CoarsenResult,
                         pool: "SamplePool | ShardPool", seeds: Sequence[int],
                         requested: int) -> QueryResult:
@@ -520,7 +706,8 @@ class InfluenceService:
         deadline = None
         if self.config.deadline_seconds is not None:
             deadline = time.monotonic() + self.config.deadline_seconds
-        with span("serve.estimate", seeds=len(seeds), n_samples=requested):
+        with span("serve.estimate", seeds=len(seeds), n_samples=requested,
+                  estimator="ris"):
             # The floor is grown without a deadline so a query can always
             # return *something* statistically meaningful.
             floor = min(self.config.min_samples, requested)
@@ -535,7 +722,7 @@ class InfluenceService:
         if degraded:
             inc("serve.deadline.degraded")
             report = self._degradation_report(graph, model, achieved)
-        inc("serve.queries")
+        self._count_query("ris")
         return QueryResult(
             value=value,
             n_samples=achieved,
@@ -543,7 +730,7 @@ class InfluenceService:
             degraded=degraded,
             seconds=time.perf_counter() - start,
             report=report,
-            extras={"pool_size": pool.size},
+            extras={"estimator": "ris", "pool_size": pool.size},
         )
 
     def _degradation_report(self, graph: InfluenceGraph,
@@ -621,11 +808,21 @@ class InfluenceService:
                 "runtime": (self._shard.stats()
                             if self._shard is not None else None),
             }
+        with self._count_lock:
+            family_queries = dict(self._family_queries)
         return {
             "models": len(self.cache),
             "model_bytes": self.cache.nbytes(),
             "pools": {
                 key.token(): pool.size for key, pool in self._pools.items()
+            },
+            "estimator": {
+                "family": self.config.estimator,
+                "queries": family_queries,
+                "oracles": {
+                    key.token(): state.oracle.nbytes
+                    for key, state in self._oracles.items()
+                },
             },
             "queue_depth": self._depth,
             "dynamic": [dynamic.stats() for dynamic in self._dynamic],
@@ -636,6 +833,8 @@ class InfluenceService:
                 "scc_backend": self.config.scc_backend,
                 "executor": self.config.executor,
                 "sampler": self.config.sampler,
+                "estimator": self.config.estimator,
+                "sketch_k": self.config.sketch_k,
                 "n_samples": self.config.n_samples,
                 "max_workers": self.config.max_workers,
                 "max_pending": self.config.max_pending,

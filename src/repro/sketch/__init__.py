@@ -1,0 +1,31 @@
+"""Sketch-based influence oracles (bottom-k combined reachability).
+
+The read-optimised estimator family: :class:`InfluenceOracle` precomputes
+bottom-k reachability sketches over the ``r`` live-edge rounds of a
+(coarsened) graph, then answers single-seed influence queries with one
+array read and seed-set queries with a sketch merge — no RR pools, no
+sampling at query time.  ``repro.serve`` routes ``/estimate`` through an
+oracle under ``ServiceConfig(estimator="sketch")``; the registry entry is
+``"sketch"`` in :mod:`repro.estimators`.
+
+See :mod:`repro.sketch.oracle` for the construction and the accuracy
+model, ``docs/serving.md`` ("Choosing an estimator") for when to pick it.
+"""
+
+from .oracle import (
+    DEFAULT_SKETCH_K,
+    InfluenceOracle,
+    SketchEstimator,
+    SketchStats,
+    round_masks,
+    sketch_eps,
+)
+
+__all__ = [
+    "DEFAULT_SKETCH_K",
+    "InfluenceOracle",
+    "SketchEstimator",
+    "SketchStats",
+    "round_masks",
+    "sketch_eps",
+]

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algorithms import MonteCarloEstimator
+from repro.estimators import make_estimator
 from repro.analysis import exact_influence
 from repro.errors import AlgorithmError
 from repro.graph import InfluenceGraph
@@ -13,7 +13,7 @@ from .conftest import build_graph, random_graph
 
 class TestMonteCarloEstimator:
     def test_matches_exact_on_paper_graph(self, paper_graph):
-        est = MonteCarloEstimator(30_000, rng=0)
+        est = make_estimator("mc", n_samples=30_000, rng=0)
         for seed in (0, 3, 6):
             exact = exact_influence(paper_graph, np.array([seed]))
             got = est.estimate(paper_graph, np.array([seed]))
@@ -22,7 +22,7 @@ class TestMonteCarloEstimator:
     def test_matches_exact_on_random_tiny_graphs(self):
         for seed in range(4):
             g = random_graph(7, 12, seed=seed, p_low=0.2, p_high=0.8)
-            est = MonteCarloEstimator(20_000, rng=seed)
+            est = make_estimator("mc", n_samples=20_000, rng=seed)
             exact = exact_influence(g, np.array([0]))
             assert est.estimate(g, np.array([0])) == pytest.approx(exact, rel=0.05)
 
@@ -31,12 +31,12 @@ class TestMonteCarloEstimator:
             2, np.array([0]), np.array([1]), np.array([0.5]),
             weights=np.array([10, 6]),
         )
-        est = MonteCarloEstimator(40_000, rng=1)
+        est = make_estimator("mc", n_samples=40_000, rng=1)
         # 10 + 0.5 * 6 = 13
         assert est.estimate(g, np.array([0])) == pytest.approx(13.0, rel=0.03)
 
     def test_stats_accumulate_across_estimates(self, paper_graph):
-        est = MonteCarloEstimator(100, rng=0)
+        est = make_estimator("mc", n_samples=100, rng=0)
         est.estimate(paper_graph, np.array([0]))
         est.estimate(paper_graph, np.array([1]))
         assert est.stats.simulations == 200
@@ -44,13 +44,13 @@ class TestMonteCarloEstimator:
 
     def test_rejects_nonpositive_simulations(self):
         with pytest.raises(AlgorithmError):
-            MonteCarloEstimator(0)
+            make_estimator("mc", n_samples=0)
 
     def test_full_seed_set_gives_total_weight(self, paper_graph):
-        est = MonteCarloEstimator(10, rng=0)
+        est = make_estimator("mc", n_samples=10, rng=0)
         assert est.estimate(paper_graph, np.arange(9)) == pytest.approx(9.0)
 
     def test_deterministic_given_seed(self, paper_graph):
-        a = MonteCarloEstimator(500, rng=9).estimate(paper_graph, np.array([0]))
-        b = MonteCarloEstimator(500, rng=9).estimate(paper_graph, np.array([0]))
+        a = make_estimator("mc", n_samples=500, rng=9).estimate(paper_graph, np.array([0]))
+        b = make_estimator("mc", n_samples=500, rng=9).estimate(paper_graph, np.array([0]))
         assert a == b

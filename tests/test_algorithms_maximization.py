@@ -13,7 +13,6 @@ from repro.algorithms import (
     DSSAMaximizer,
     GreedyMaximizer,
     IMMMaximizer,
-    MonteCarloEstimator,
     RISMaximizer,
     SSAMaximizer,
 )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algorithms import MonteCarloEstimator, RISEstimator
+from repro.estimators import make_estimator
 from repro.analysis import exact_influence, guarantee_report
 from repro.core import coarsen_influence_graph, estimate_on_coarse
 from repro.errors import AlgorithmError
@@ -13,7 +13,7 @@ from .conftest import build_graph, random_graph
 
 class TestRISEstimator:
     def test_matches_exact_on_tiny_graph(self, paper_graph):
-        est = RISEstimator(n_samples=40_000, rng=0)
+        est = make_estimator("ris", n_samples=40_000, rng=0)
         for seed in (0, 3):
             exact = exact_influence(paper_graph, np.array([seed]))
             got = est.estimate(paper_graph, np.array([seed]))
@@ -21,22 +21,22 @@ class TestRISEstimator:
 
     def test_matches_monte_carlo_on_seed_sets(self):
         g = random_graph(30, 100, seed=1, p_low=0.1, p_high=0.6)
-        ris = RISEstimator(n_samples=30_000, rng=0)
-        mc = MonteCarloEstimator(30_000, rng=1)
+        ris = make_estimator("ris", n_samples=30_000, rng=0)
+        mc = make_estimator("mc", n_samples=30_000, rng=1)
         seeds = np.array([0, 5, 9])
         assert ris.estimate(g, seeds) == pytest.approx(
             mc.estimate(g, seeds), rel=0.05
         )
 
     def test_sketch_reused_across_queries(self, paper_graph):
-        est = RISEstimator(n_samples=1_000, rng=0)
+        est = make_estimator("ris", n_samples=1_000, rng=0)
         est.estimate(paper_graph, np.array([0]))
         edges_after_first = est.examined_edges
         est.estimate(paper_graph, np.array([1]))
         assert est.examined_edges == edges_after_first  # no resampling
 
     def test_sketch_rebuilt_for_new_graph(self, paper_graph, two_cliques_graph):
-        est = RISEstimator(n_samples=500, rng=0)
+        est = make_estimator("ris", n_samples=500, rng=0)
         est.estimate(paper_graph, np.array([0]))
         before = est.examined_edges
         est.estimate(two_cliques_graph, np.array([0]))
@@ -44,17 +44,17 @@ class TestRISEstimator:
 
     def test_works_inside_framework(self, two_cliques_graph):
         result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
-        est = RISEstimator(n_samples=20_000, rng=0)
+        est = make_estimator("ris", n_samples=20_000, rng=0)
         value = estimate_on_coarse(result, np.array([0]), est)
-        mc = MonteCarloEstimator(20_000, rng=1)
+        mc = make_estimator("mc", n_samples=20_000, rng=1)
         reference = estimate_on_coarse(result, np.array([0]), mc)
         assert value == pytest.approx(reference, rel=0.05)
 
     def test_rejects_bad_parameters(self, paper_graph):
         with pytest.raises(AlgorithmError):
-            RISEstimator(n_samples=0)
+            make_estimator("ris", n_samples=0)
         with pytest.raises(AlgorithmError):
-            RISEstimator(n_samples=10, rng=0).estimate(
+            make_estimator("ris", n_samples=10, rng=0).estimate(
                 paper_graph, np.array([], dtype=np.int64)
             )
 

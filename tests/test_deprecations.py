@@ -112,14 +112,8 @@ class TestFacadeDispatch:
 
 CONSTRUCTOR_CASES = [
     # (factory_old, factory_new, old_kwarg, new_attr)
-    (lambda: MonteCarloEstimator(n_simulations=123),
-     lambda: MonteCarloEstimator(n_samples=123),
-     "n_simulations", "n_samples"),
     (lambda: RISMaximizer(n_sets=321, rng=0),
      lambda: RISMaximizer(n_samples=321, rng=0),
-     "n_sets", "n_samples"),
-    (lambda: RISEstimator(n_sets=321, rng=0),
-     lambda: RISEstimator(n_samples=321, rng=0),
      "n_sets", "n_samples"),
     (lambda: IMMMaximizer(eps=0.3, max_sets=777),
      lambda: IMMMaximizer(eps=0.3, max_samples=777),
@@ -166,8 +160,10 @@ class TestConstructorAliases:
             factory_new()
 
     def test_both_spellings_is_an_error(self):
-        with pytest.raises(TypeError, match="not both"):
-            MonteCarloEstimator(n_samples=5, n_simulations=5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="not both"):
+                MonteCarloEstimator(n_samples=5, n_simulations=5)
         with pytest.raises(TypeError, match="not both"):
             RISMaximizer(n_samples=5, n_sets=5)
         with pytest.raises(TypeError, match="not both"):
@@ -192,3 +188,72 @@ class TestConstructorAliases:
         new = RISMaximizer(n_samples=2_000, rng=1).select(g, 2)
         assert old.seeds.tolist() == new.seeds.tolist()
         assert old.estimated_influence == new.estimated_influence
+
+
+class TestEstimatorConstructorDeprecation:
+    """Direct ``MonteCarloEstimator``/``RISEstimator`` construction is a
+    1.2 deprecation: instances come from the :mod:`repro.estimators`
+    registry.  The shims must warn (naming ``make_estimator``), delegate
+    byte-identically, and stack with the older keyword-rename shims."""
+
+    @pytest.mark.parametrize("cls,family", [
+        (MonteCarloEstimator, "mc"),
+        (RISEstimator, "ris"),
+    ], ids=["mc", "ris"])
+    def test_direct_construction_warns_naming_registry(self, cls, family):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            cls(n_samples=100, rng=0)
+        w = one_deprecation(record)
+        assert "make_estimator" in str(w.message)
+        assert family in str(w.message)
+
+    def test_registry_construction_does_not_warn(self):
+        from repro.estimators import make_estimator
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            make_estimator("mc", n_samples=100, rng=0)
+            make_estimator("ris", n_samples=100, rng=0)
+            make_estimator("imm", eps=0.3, delta=0.1, rng=0)
+            make_estimator("sketch", r=2, k=8, rng=0)
+
+    def test_old_kwarg_stacks_with_constructor_warning(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            est = MonteCarloEstimator(n_simulations=123)
+        relevant = [w for w in record
+                    if issubclass(w.category, DeprecationWarning)]
+        assert len(relevant) == 2  # constructor + keyword rename
+        assert est.n_samples == 123
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            ris = RISEstimator(n_sets=321, rng=0)
+        relevant = [w for w in record
+                    if issubclass(w.category, DeprecationWarning)]
+        assert len(relevant) == 2
+        assert ris.n_samples == 321
+
+    def test_shim_delegates_byte_identically(self):
+        from repro.estimators import make_estimator
+        g = random_graph(40, 160, seed=8)
+        seeds = np.array([0, 3])
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old_mc = MonteCarloEstimator(500, rng=7).estimate(g, seeds)
+            old_ris = RISEstimator(n_samples=800, rng=7).estimate(g, seeds)
+        new_mc = make_estimator("mc", n_samples=500, rng=7).estimate(g, seeds)
+        new_ris = make_estimator("ris", n_samples=800, rng=7).estimate(
+            g, seeds)
+        assert old_mc == new_mc
+        assert old_ris == new_ris
+
+    def test_from_coverage_does_not_warn(self):
+        from repro.diffusion.rr_sets import CoverageInstance, RRSampler
+        g = random_graph(30, 90, seed=9)
+        sampler = RRSampler(g, rng=0)
+        coverage = CoverageInstance(sampler.sample_batch(50), g.n)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            est = RISEstimator.from_coverage(g, coverage,
+                                             sampler.total_weight)
+        assert est.n_samples == 50

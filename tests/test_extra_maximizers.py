@@ -5,11 +5,11 @@ import pytest
 
 from repro.algorithms import (
     IRIEMaximizer,
-    MonteCarloEstimator,
     SnapshotGreedyMaximizer,
     TIMPlusMaximizer,
 )
 from repro.analysis import exact_influence
+from repro.estimators import make_estimator
 from repro.errors import AlgorithmError
 from repro.graph import GraphBuilder
 
@@ -121,7 +121,7 @@ class TestSnapshotGreedy:
         assert result.estimated_influence == pytest.approx(exact, rel=0.05)
 
     def test_matches_mc_greedy_quality(self, two_cliques_graph):
-        judge = MonteCarloEstimator(5_000, rng=9)
+        judge = make_estimator("mc", n_samples=5_000, rng=9)
         result = SnapshotGreedyMaximizer(n_snapshots=200, rng=0).select(
             two_cliques_graph, 1
         )

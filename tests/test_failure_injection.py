@@ -14,7 +14,8 @@ from repro import (
     TripletStore,
     coarsen_influence_graph,
 )
-from repro.algorithms import DSSAMaximizer, MonteCarloEstimator
+from repro.algorithms import DSSAMaximizer
+from repro.estimators import make_estimator
 from repro.core import DynamicCoarsener, coarsen
 from repro.errors import (
     AlgorithmError,
@@ -83,7 +84,7 @@ class TestDegenerateGraphs:
 
     def test_estimator_on_edgeless_graph(self):
         g = InfluenceGraph.empty(3)
-        est = MonteCarloEstimator(100, rng=0)
+        est = make_estimator("mc", n_samples=100, rng=0)
         assert est.estimate(g, np.array([1])) == 1.0
 
 

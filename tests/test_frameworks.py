@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.algorithms import DegreeHeuristic, MonteCarloEstimator, RISMaximizer
+from repro.algorithms import DegreeHeuristic, RISMaximizer
+from repro.estimators import make_estimator
 from repro.analysis import exact_influence
 from repro.core import (
     coarsen,
@@ -47,7 +48,7 @@ class TestEstimationFramework:
         seeds = np.array([0])
         inf_g = estimate_influence(two_cliques_graph, seeds, 20_000, rng=3)
         est = estimate_on_coarse(
-            result, seeds, MonteCarloEstimator(20_000, rng=1)
+            result, seeds, make_estimator("mc", n_samples=20_000, rng=1)
         )
         # cliques are near-deterministic, so coarse estimate tracks closely
         assert est == pytest.approx(inf_g, rel=0.05)
@@ -56,15 +57,15 @@ class TestEstimationFramework:
         result = coarsen_influence_graph(two_cliques_graph, r=2, rng=0)
         with pytest.raises(AlgorithmError):
             estimate_on_coarse(result, np.array([], dtype=np.int64),
-                               MonteCarloEstimator(10, rng=0))
+                               make_estimator("mc", n_samples=10, rng=0))
 
     def test_seed_set_inside_one_block_deduplicates(self, two_cliques_graph):
         result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
         est_one = estimate_on_coarse(
-            result, np.array([0]), MonteCarloEstimator(5_000, rng=2)
+            result, np.array([0]), make_estimator("mc", n_samples=5_000, rng=2)
         )
         est_all = estimate_on_coarse(
-            result, np.array([0, 1, 2, 3]), MonteCarloEstimator(5_000, rng=2)
+            result, np.array([0, 1, 2, 3]), make_estimator("mc", n_samples=5_000, rng=2)
         )
         # same coarse seed set => statistically identical estimates
         assert est_one == pytest.approx(est_all, rel=0.05)

@@ -12,7 +12,6 @@ import pytest
 
 from repro import (
     DSSAMaximizer,
-    MonteCarloEstimator,
     TripletStore,
     coarsen_influence_graph,
     estimate_on_coarse,
@@ -21,7 +20,8 @@ from repro import (
     read_edge_list,
     write_edge_list,
 )
-from repro.algorithms import DegreeHeuristic, RISEstimator
+from repro.algorithms import DegreeHeuristic
+from repro.estimators import make_estimator
 from repro.core import DynamicCoarsener
 
 
@@ -39,8 +39,8 @@ class TestEstimationPipeline:
     def test_framework_tracks_plain_mc(self, slashdot, slashdot_coarse):
         rng = np.random.default_rng(3)
         vertices = rng.choice(slashdot.n, size=5, replace=False)
-        plain = MonteCarloEstimator(4_000, rng=1)
-        framework = MonteCarloEstimator(4_000, rng=2)
+        plain = make_estimator("mc", n_samples=4_000, rng=1)
+        framework = make_estimator("mc", n_samples=4_000, rng=2)
         for v in vertices:
             gt = plain.estimate(slashdot, np.array([v]))
             est = estimate_on_coarse(slashdot_coarse, np.array([v]), framework)
@@ -53,17 +53,17 @@ class TestEstimationPipeline:
     ):
         seeds = np.array([10, 20, 30])
         mc = estimate_on_coarse(
-            slashdot_coarse, seeds, MonteCarloEstimator(5_000, rng=4)
+            slashdot_coarse, seeds, make_estimator("mc", n_samples=5_000, rng=4)
         )
         ris = estimate_on_coarse(
-            slashdot_coarse, seeds, RISEstimator(n_samples=20_000, rng=5)
+            slashdot_coarse, seeds, make_estimator("ris", n_samples=20_000, rng=5)
         )
         assert ris == pytest.approx(mc, rel=0.15)
 
 
 class TestMaximizationPipeline:
     def test_framework_solution_quality(self, slashdot, slashdot_coarse):
-        judge = MonteCarloEstimator(1_500, rng=9)
+        judge = make_estimator("mc", n_samples=1_500, rng=9)
         plain = DSSAMaximizer(eps=0.2, delta=0.1, rng=1).select(slashdot, 5)
         framework = maximize_on_coarse(
             slashdot_coarse, 5, DSSAMaximizer(eps=0.2, delta=0.1, rng=2), rng=3
@@ -74,7 +74,7 @@ class TestMaximizationPipeline:
 
     def test_framework_beats_degree_baseline_or_ties(self, slashdot,
                                                      slashdot_coarse):
-        judge = MonteCarloEstimator(1_500, rng=10)
+        judge = make_estimator("mc", n_samples=1_500, rng=10)
         degree = DegreeHeuristic().select(slashdot, 5)
         framework = maximize_on_coarse(
             slashdot_coarse, 5, DSSAMaximizer(eps=0.2, delta=0.1, rng=6), rng=7
@@ -108,7 +108,7 @@ class TestParallelConsistency:
             slashdot, r=8, workers=2, rng=0, executor="thread"
         )
         est = estimate_on_coarse(
-            result, np.array([0]), MonteCarloEstimator(2_000, rng=1)
+            result, np.array([0]), make_estimator("mc", n_samples=2_000, rng=1)
         )
         assert est >= 1.0
 
@@ -121,6 +121,6 @@ class TestDynamicPipeline:
         dyn.insert_edge(0, 399, 0.5)
         snap = dyn.snapshot()
         est = estimate_on_coarse(
-            snap, np.array([0]), MonteCarloEstimator(2_000, rng=1)
+            snap, np.array([0]), make_estimator("mc", n_samples=2_000, rng=1)
         )
         assert est >= 1.0

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.algorithms import DSSAMaximizer, RISEstimator, RISMaximizer
+from repro.algorithms import DSSAMaximizer, RISMaximizer
+from repro.estimators import make_estimator
 from repro.datasets import assign_weighted_cascade
 from repro.diffusion import RRSampler, estimate_influence_lt
 from repro.errors import AlgorithmError
@@ -70,7 +71,7 @@ class TestLTMaximization:
 
     def test_ris_estimator_under_lt_matches_simulation(self):
         g = wc(random_graph(15, 45, seed=5))
-        est = RISEstimator(n_samples=30_000, rng=0, model="lt")
+        est = make_estimator("ris", n_samples=30_000, rng=0, model="lt")
         seeds = np.array([0, 3])
         sim = estimate_influence_lt(g, seeds, 20_000, rng=1)
         assert est.estimate(g, seeds) == pytest.approx(sim, rel=0.07)

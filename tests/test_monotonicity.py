@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.algorithms import MonteCarloEstimator
+from repro.estimators import make_estimator
 from repro.core import coarsen_influence_graph, estimate_on_coarse
 from repro.core.robust_scc import robust_scc_refinement_sequence
 
@@ -70,9 +70,9 @@ class TestInfluenceUpperBound:
 
         n_sims = 4000
         coarse_est = estimate_on_coarse(
-            result, seeds, MonteCarloEstimator(n_samples=n_sims, rng=99)
+            result, seeds, make_estimator("mc", n_samples=n_sims, rng=99)
         )
-        ground = MonteCarloEstimator(n_samples=n_sims, rng=99).estimate(
+        ground = make_estimator("mc", n_samples=n_sims, rng=99).estimate(
             graph, seeds
         )
 
@@ -93,9 +93,9 @@ class TestInfluenceUpperBound:
             pytest.skip("partition did not shatter at this seed")
         seeds = np.asarray([1, 2, 3], dtype=np.int64)
         coarse_est = estimate_on_coarse(
-            result, seeds, MonteCarloEstimator(n_samples=2000, rng=7)
+            result, seeds, make_estimator("mc", n_samples=2000, rng=7)
         )
-        ground = MonteCarloEstimator(n_samples=2000, rng=7).estimate(
+        ground = make_estimator("mc", n_samples=2000, rng=7).estimate(
             graph, seeds
         )
         assert coarse_est == pytest.approx(ground, rel=0.15)

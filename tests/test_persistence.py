@@ -26,7 +26,7 @@ class TestRoundTrip:
 
     def test_loaded_result_usable_by_frameworks(self, tmp_path,
                                                 two_cliques_graph):
-        from repro.algorithms import MonteCarloEstimator
+        from repro.estimators import make_estimator
         from repro.core import estimate_on_coarse
 
         result = coarsen_influence_graph(two_cliques_graph, r=4, rng=0)
@@ -34,9 +34,9 @@ class TestRoundTrip:
         save_coarsening(result, path)
         back = load_coarsening(path)
         a = estimate_on_coarse(result, np.array([0]),
-                               MonteCarloEstimator(2_000, rng=1))
+                               make_estimator("mc", n_samples=2_000, rng=1))
         b = estimate_on_coarse(back, np.array([0]),
-                               MonteCarloEstimator(2_000, rng=1))
+                               make_estimator("mc", n_samples=2_000, rng=1))
         assert a == b
 
     def test_random_graphs_round_trip(self, tmp_path):

@@ -145,12 +145,12 @@ class TestPoolLifecycle:
             dynamic = svc.attach_dynamic(g)
             model_before = dynamic.model
             _, before = dynamic.estimate([0])
-            pool_before = svc._pools[dynamic.key]
+            pool_before = svc._pools[dynamic.key.for_state("pool")]
             with obs.use_metrics(registry):
                 out = dynamic.insert_edge(0, 2, 1.0)
             assert out["model_retained"] is True
             assert dynamic.model is model_before
-            assert svc._pools[dynamic.key] is pool_before
+            assert svc._pools[dynamic.key.for_state("pool")] is pool_before
             _, after = dynamic.estimate([0])
             assert after.value == before.value
         assert registry.counter("serve.dynamic.pool.retained") == 1
@@ -167,7 +167,7 @@ class TestPoolLifecycle:
             dynamic = svc.attach_dynamic(g)
             assert dynamic.model.coarse.n == 1
             dynamic.estimate([0])
-            pool_size = svc._pools[dynamic.key].size
+            pool_size = svc._pools[dynamic.key.for_state("pool")].size
             assert pool_size > 0
             with obs.use_metrics(registry):
                 out = dynamic.delete_edge(2, 0)
